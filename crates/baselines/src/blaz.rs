@@ -1,0 +1,327 @@
+//! Blaz (Martel, BDCAT 2022) for 2-D `f64` arrays, as described in the
+//! paper's §II-A(c): 8×8 blocks; the first element of each block is stored
+//! and the rest are differentiated against their previous element; a
+//! block-wise DCT follows; the biggest coefficient per block is stored and
+//! the rest are binned into 255 bins (int8 −127..127); finally the 6×6
+//! square in the higher-index corner is pruned and the remaining 28
+//! indices flattened.
+//!
+//! Blaz supports a handful of compressed-space operations; the two the
+//! paper benchmarks (Fig. 2) are element-wise [`BlazCompressed::add`] and
+//! [`BlazCompressed::mul_scalar`].
+//!
+//! Everything here is intentionally **single-threaded**: Blaz is the
+//! sequential baseline that PyBlaz's data-parallel scaling is measured
+//! against.
+
+use blazr_tensor::NdArray;
+use blazr_transform::{BlockTransform, TransformKind};
+
+/// Block edge length (8×8 blocks).
+pub const BLOCK: usize = 8;
+/// Binning radius: indices span −127..=127 (255 bins).
+pub const RADIUS: f64 = 127.0;
+/// Kept coefficients per block after pruning the 6×6 corner: 64 − 36.
+pub const KEPT: usize = 28;
+
+/// A Blaz-compressed 2-D array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlazCompressed {
+    rows: usize,
+    cols: usize,
+    /// First element of each block (stored verbatim).
+    firsts: Vec<f64>,
+    /// Biggest DCT coefficient (magnitude) of each block.
+    biggest: Vec<f64>,
+    /// 28 pruned-and-flattened int8 bin indices per block.
+    indices: Vec<i8>,
+}
+
+/// Row-major flat positions of an 8×8 block that survive pruning: those
+/// outside the 6×6 high-index corner (rows 2..8 × cols 2..8 are dropped).
+fn kept_positions() -> Vec<usize> {
+    let mut kept = Vec::with_capacity(KEPT);
+    for r in 0..BLOCK {
+        for c in 0..BLOCK {
+            if r < 2 || c < 2 {
+                kept.push(r * BLOCK + c);
+            }
+        }
+    }
+    debug_assert_eq!(kept.len(), KEPT);
+    kept
+}
+
+/// Differentiates a block in place: element k becomes `b[k] − b[k−1]`
+/// (row-major), with the first element zeroed (it is stored separately).
+fn differentiate(block: &mut [f64]) {
+    for k in (1..block.len()).rev() {
+        block[k] -= block[k - 1];
+    }
+    block[0] = 0.0;
+}
+
+/// Inverse of [`differentiate`] given the stored first element.
+fn integrate(block: &mut [f64], first: f64) {
+    block[0] = first;
+    for k in 1..block.len() {
+        block[k] += block[k - 1];
+    }
+}
+
+impl BlazCompressed {
+    /// Compresses a 2-D array. Inputs whose extents are not multiples of 8
+    /// are zero-padded (Blaz proper requires multiples of 8; the padding
+    /// is cropped on decompression).
+    pub fn compress(input: &NdArray<f64>) -> Self {
+        assert_eq!(input.ndim(), 2, "Blaz is a 2-D compressor");
+        let rows = input.shape()[0];
+        let cols = input.shape()[1];
+        let brows = rows.div_ceil(BLOCK);
+        let bcols = cols.div_ceil(BLOCK);
+        let bt = BlockTransform::<f64>::new(TransformKind::Dct, &[BLOCK, BLOCK]);
+        let kept = kept_positions();
+
+        let mut firsts = Vec::with_capacity(brows * bcols);
+        let mut biggest = Vec::with_capacity(brows * bcols);
+        let mut indices = Vec::with_capacity(brows * bcols * KEPT);
+        let mut block = vec![0.0f64; BLOCK * BLOCK];
+        let mut scratch = vec![0.0f64; BLOCK * BLOCK];
+
+        for br in 0..brows {
+            for bc in 0..bcols {
+                // Gather (sequentially — Blaz is the single-threaded baseline).
+                for r in 0..BLOCK {
+                    for c in 0..BLOCK {
+                        let gr = br * BLOCK + r;
+                        let gc = bc * BLOCK + c;
+                        block[r * BLOCK + c] = if gr < rows && gc < cols {
+                            input.get(&[gr, gc])
+                        } else {
+                            0.0
+                        };
+                    }
+                }
+                let first = block[0];
+                differentiate(&mut block);
+                bt.forward(&mut block, &mut scratch);
+                let n = block.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+                firsts.push(first);
+                biggest.push(n);
+                for &pos in &kept {
+                    let q = if n == 0.0 { 0.0 } else { block[pos] / n };
+                    indices.push((q * RADIUS).round().clamp(-RADIUS, RADIUS) as i8);
+                }
+            }
+        }
+        Self {
+            rows,
+            cols,
+            firsts,
+            biggest,
+            indices,
+        }
+    }
+
+    /// Decompresses back to the original shape.
+    pub fn decompress(&self) -> NdArray<f64> {
+        let brows = self.rows.div_ceil(BLOCK);
+        let bcols = self.cols.div_ceil(BLOCK);
+        let bt = BlockTransform::<f64>::new(TransformKind::Dct, &[BLOCK, BLOCK]);
+        let kept = kept_positions();
+        let mut out = NdArray::full(vec![self.rows, self.cols], 0.0f64);
+        let mut block = vec![0.0f64; BLOCK * BLOCK];
+        let mut scratch = vec![0.0f64; BLOCK * BLOCK];
+
+        for br in 0..brows {
+            for bc in 0..bcols {
+                let kb = br * bcols + bc;
+                block.fill(0.0);
+                let n = self.biggest[kb];
+                for (slot, &pos) in kept.iter().enumerate() {
+                    block[pos] = self.indices[kb * KEPT + slot] as f64 / RADIUS * n;
+                }
+                bt.inverse(&mut block, &mut scratch);
+                integrate(&mut block, self.firsts[kb]);
+                for r in 0..BLOCK {
+                    for c in 0..BLOCK {
+                        let gr = br * BLOCK + r;
+                        let gc = bc * BLOCK + c;
+                        if gr < self.rows && gc < self.cols {
+                            out.set(&[gr, gc], block[r * BLOCK + c]);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Compressed-space element-wise addition: coefficients are summed and
+    /// rebinned; first elements add exactly.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "shape mismatch"
+        );
+        let n_blocks = self.firsts.len();
+        let mut firsts = Vec::with_capacity(n_blocks);
+        let mut biggest = Vec::with_capacity(n_blocks);
+        let mut indices = Vec::with_capacity(n_blocks * KEPT);
+        let mut coeffs = [0.0f64; KEPT];
+        for kb in 0..n_blocks {
+            firsts.push(self.firsts[kb] + other.firsts[kb]);
+            let (n1, n2) = (self.biggest[kb], other.biggest[kb]);
+            let mut n = 0.0f64;
+            for (slot, c_out) in coeffs.iter_mut().enumerate() {
+                let c = self.indices[kb * KEPT + slot] as f64 / RADIUS * n1
+                    + other.indices[kb * KEPT + slot] as f64 / RADIUS * n2;
+                *c_out = c;
+                n = n.max(c.abs());
+            }
+            biggest.push(n);
+            for &c in &coeffs {
+                let q = if n == 0.0 { 0.0 } else { c / n };
+                indices.push((q * RADIUS).round().clamp(-RADIUS, RADIUS) as i8);
+            }
+        }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            firsts,
+            biggest,
+            indices,
+        }
+    }
+
+    /// Compressed-space multiplication by a scalar (exact).
+    pub fn mul_scalar(&self, x: f64) -> Self {
+        let mut out = self.clone();
+        for f in &mut out.firsts {
+            *f *= x;
+        }
+        for n in &mut out.biggest {
+            *n *= x.abs();
+        }
+        if x < 0.0 {
+            for i in &mut out.indices {
+                *i = -*i;
+            }
+        }
+        out
+    }
+
+    /// Compressed payload size in bits (firsts + biggest as f64, indices
+    /// as int8, plus the stored shape).
+    pub fn payload_bits(&self) -> u64 {
+        let blocks = self.firsts.len() as u64;
+        128 + blocks * (64 + 64) + blocks * KEPT as u64 * 8
+    }
+
+    /// Compression ratio against an FP64 original.
+    pub fn compression_ratio(&self) -> f64 {
+        (self.rows * self.cols * 64) as f64 / self.payload_bits() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_util::rng::Xoshiro256pp;
+    use blazr_util::stats::{max_abs_diff, rms_diff};
+
+    fn smooth_array(n: usize, seed: u64) -> NdArray<f64> {
+        // Blaz's differentiation step targets smooth data.
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let phase = rng.uniform_in(0.0, std::f64::consts::TAU);
+        NdArray::from_fn(vec![n, n], |i| {
+            ((i[0] as f64 / 9.0 + phase).sin() + (i[1] as f64 / 7.0).cos()) * 0.5
+        })
+    }
+
+    #[test]
+    fn differentiate_integrate_roundtrip() {
+        let orig: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut b = orig.clone();
+        let first = b[0];
+        differentiate(&mut b);
+        integrate(&mut b, first);
+        for (a, b) in orig.iter().zip(&b) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn kept_positions_match_blaz_pruning() {
+        let kept = kept_positions();
+        assert_eq!(kept.len(), 28);
+        assert!(kept.contains(&0));
+        assert!(kept.contains(&(BLOCK + 1))); // (1,1)
+        assert!(!kept.contains(&(2 * BLOCK + 2))); // (2,2) is corner
+        assert!(kept.contains(&(7 * BLOCK))); // (7,0) col < 2 kept
+    }
+
+    #[test]
+    fn roundtrip_on_smooth_data() {
+        // Blaz's differentiation step means binning error is amplified by
+        // the cumulative sum on decompression, and its fixed 6×6 corner
+        // pruning drops over half the (differentiated) spectrum — so its
+        // error is much higher than PyBlaz's at similar ratios. The PyBlaz
+        // paper drops the differentiation step for exactly this family of
+        // reasons (§II-A / Fig. 1 caption).
+        let a = smooth_array(32, 1);
+        let c = BlazCompressed::compress(&a);
+        let d = c.decompress();
+        let rms = rms_diff(a.as_slice(), d.as_slice());
+        assert!(rms < 0.25, "rms {rms}");
+        assert!(rms > 0.0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_shape_with_padding() {
+        let a = smooth_array(20, 2); // not a multiple of 8
+        let c = BlazCompressed::compress(&a);
+        let d = c.decompress();
+        assert_eq!(d.shape(), &[20, 20]);
+    }
+
+    #[test]
+    fn add_approximates_sum() {
+        // Compare against the sum of the *decompressed* operands, so only
+        // the rebinning error of the compressed-space addition is measured
+        // (not Blaz's substantial baseline compression error).
+        let a = smooth_array(16, 3);
+        let b = smooth_array(16, 4);
+        let ca = BlazCompressed::compress(&a);
+        let cb = BlazCompressed::compress(&b);
+        let sum = ca.add(&cb).decompress();
+        let expect = ca.decompress().add(&cb.decompress());
+        let err = max_abs_diff(sum.as_slice(), expect.as_slice());
+        assert!(err < 0.35, "err {err}");
+        // And it should still be recognizably the sum of the originals.
+        let gross = max_abs_diff(sum.as_slice(), a.add(&b).as_slice());
+        assert!(gross < 1.5, "gross {gross}");
+    }
+
+    #[test]
+    fn mul_scalar_is_exact_on_decompressed() {
+        let a = smooth_array(16, 5);
+        let c = BlazCompressed::compress(&a);
+        let lhs = c.mul_scalar(-2.5).decompress();
+        let rhs = c.decompress().mul_scalar(-2.5);
+        let err = max_abs_diff(lhs.as_slice(), rhs.as_slice());
+        assert!(err < 1e-12, "err {err}");
+    }
+
+    #[test]
+    fn compression_ratio_is_fixed() {
+        // 64 f64 values → 2×f64 + 28×i8 per block: ratio 64·8/(16+28·... )
+        let a = smooth_array(64, 6);
+        let c = BlazCompressed::compress(&a);
+        // 64 blocks of 512 bytes → payload = 128 + 64·(128 + 224) bits.
+        let expect = (64 * 64 * 64) as f64 / (128 + 64 * (128 + 224)) as f64;
+        assert!((c.compression_ratio() - expect).abs() < 1e-9);
+        assert!(c.compression_ratio() > 11.0, "{}", c.compression_ratio());
+    }
+}

@@ -1,0 +1,25 @@
+//! Reimplementations of the comparison codecs from the paper's related
+//! work (§II-A) and evaluation (§IV-E):
+//!
+//! * [`blaz`] — Martel's Blaz compressor for 2-D `f64` arrays: 8×8 blocks,
+//!   first-element + differentiation, block DCT, 255-bin int8 binning, and
+//!   6×6 high-frequency corner pruning. Deliberately single-threaded; this
+//!   is the baseline PyBlaz's Fig. 2 scaling comparison runs against.
+//! * [`zfpoid`] — a ZFP-style fixed-rate codec (Lindstrom 2014): 4^d
+//!   blocks, block-floating-point, the ZFP lifting transform, total
+//!   sequency reordering, negabinary, and embedded group-tested bit-plane
+//!   coding truncated at an exact bit budget. Used for the Fig. 3 timing
+//!   and ratio comparisons.
+//! * [`szoid`] — an SZ-style error-bounded codec (Di & Cappello 2016):
+//!   order-1 Lorenzo prediction from *reconstructed* values,
+//!   linear-scaling quantization, canonical Huffman coding, and verbatim
+//!   outlier storage, guaranteeing a user-chosen point-wise bound.
+//!
+//! None of these support compressed-space operations beyond what their
+//! papers describe — that contrast is the point of the headline system.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blaz;
+pub mod szoid;
+pub mod zfpoid;

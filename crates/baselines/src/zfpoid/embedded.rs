@@ -1,0 +1,247 @@
+//! ZFP's embedded bit-plane coder with group testing.
+//!
+//! Coefficients (in negabinary, sequency order) are emitted one bit plane
+//! at a time from most to least significant. Within a plane, coefficients
+//! already known to be significant send their bit verbatim; the remainder
+//! is run-length coded: a group-test bit says whether *any* remaining
+//! coefficient has this plane's bit set, and if so, bits follow until the
+//! first set one. Truncating the stream at any point yields a valid
+//! (coarser) reconstruction — which is how the fixed-rate budget works.
+
+use blazr_util::bits::{BitReader, BitWriter};
+
+/// Number of bit planes in a negabinary `u64` coefficient.
+const PLANES: u32 = 64;
+
+/// Budget-tracking writer: refuses writes past `budget` bits.
+struct Budget {
+    remaining: usize,
+}
+
+impl Budget {
+    fn take(&mut self) -> bool {
+        if self.remaining == 0 {
+            false
+        } else {
+            self.remaining -= 1;
+            true
+        }
+    }
+}
+
+/// Encodes `coeffs` (negabinary, at most 64) into `w`, spending at most
+/// `budget` bits.
+pub fn encode(coeffs: &[u64], budget: usize, w: &mut BitWriter) {
+    let size = coeffs.len();
+    assert!(size <= 64, "plane gathering uses a u64 per plane");
+    let mut bits = Budget { remaining: budget };
+    let mut n = 0usize; // coefficients known significant so far
+    for k in (0..PLANES).rev() {
+        // Gather plane k: bit i of x = bit k of coefficient i.
+        let mut x = 0u64;
+        for (i, &c) in coeffs.iter().enumerate() {
+            x |= ((c >> k) & 1) << i;
+        }
+        // Verbatim bits for known-significant coefficients.
+        let mut i = 0;
+        while i < n {
+            if !bits.take() {
+                return;
+            }
+            w.write_bit(x & 1 == 1);
+            x >>= 1;
+            i += 1;
+        }
+        // Group-tested remainder (mirrors ZFP's encode_ints step 3).
+        loop {
+            if n >= size {
+                break;
+            }
+            if !bits.take() {
+                return;
+            }
+            let any = x != 0;
+            w.write_bit(any);
+            if !any {
+                break;
+            }
+            // Inner: emit zero bits (consuming them) until the next set bit
+            // or the penultimate position; the set bit itself — written or
+            // implied at the last position — is consumed by the outer
+            // advance below.
+            while n < size - 1 {
+                if !bits.take() {
+                    return;
+                }
+                let b = x & 1 == 1;
+                w.write_bit(b);
+                if b {
+                    break;
+                }
+                x >>= 1;
+                n += 1;
+            }
+            // Outer advance: consume the significant coefficient.
+            x >>= 1;
+            n += 1;
+        }
+    }
+}
+
+/// Decodes into `coeffs` (cleared first), consuming at most `budget` bits.
+/// Returns `None` if the reader runs out of underlying data (a malformed
+/// stream; budget exhaustion is normal and returns `Some`).
+pub fn decode(coeffs: &mut [u64], budget: usize, r: &mut BitReader<'_>) -> Option<()> {
+    let size = coeffs.len();
+    coeffs.iter_mut().for_each(|c| *c = 0);
+    let mut bits = Budget { remaining: budget };
+    let mut n = 0usize;
+    for k in (0..PLANES).rev() {
+        let mut x = 0u64;
+        // Verbatim bits.
+        let mut i = 0;
+        while i < n {
+            if !bits.take() {
+                return Some(());
+            }
+            if r.read_bit()? {
+                x |= 1 << i;
+            }
+            i += 1;
+        }
+        // Group-tested remainder (mirrors ZFP's decode_ints).
+        loop {
+            if n >= size {
+                break;
+            }
+            if !bits.take() {
+                deposit(coeffs, x, k);
+                return Some(());
+            }
+            let any = r.read_bit()?;
+            if !any {
+                break;
+            }
+            // Inner: skip zero bits up to the penultimate position.
+            while n < size - 1 {
+                if !bits.take() {
+                    deposit(coeffs, x, k);
+                    return Some(());
+                }
+                if r.read_bit()? {
+                    break;
+                }
+                n += 1;
+            }
+            // Outer advance: the significant coefficient (read or implied
+            // at the last position) gets its plane bit.
+            x |= 1 << n;
+            n += 1;
+        }
+        deposit(coeffs, x, k);
+    }
+    Some(())
+}
+
+#[inline]
+fn deposit(coeffs: &mut [u64], x: u64, k: u32) {
+    let mut x = x;
+    let mut i = 0;
+    while x != 0 {
+        if x & 1 == 1 {
+            coeffs[i] |= 1 << k;
+        }
+        x >>= 1;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn roundtrip(coeffs: &[u64], budget: usize) -> Vec<u64> {
+        let mut w = BitWriter::new();
+        encode(coeffs, budget, &mut w);
+        assert!(w.bit_len() <= budget, "budget violated");
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let mut out = vec![0u64; coeffs.len()];
+        decode(&mut out, budget, &mut r).expect("stream intact");
+        out
+    }
+
+    #[test]
+    fn lossless_with_ample_budget() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        for _ in 0..50 {
+            let coeffs: Vec<u64> = (0..16).map(|_| rng.next_u64() >> rng.below(40)).collect();
+            let out = roundtrip(&coeffs, 1 << 16);
+            assert_eq!(out, coeffs);
+        }
+    }
+
+    #[test]
+    fn zero_coefficients_cost_little() {
+        let coeffs = vec![0u64; 16];
+        let mut w = BitWriter::new();
+        encode(&coeffs, 1 << 16, &mut w);
+        // One group-test zero bit per plane.
+        assert_eq!(w.bit_len(), 64);
+    }
+
+    #[test]
+    fn truncation_degrades_gracefully() {
+        // With a tight budget the decoded value must match the encoded one
+        // in its high bit planes — never exceed it in garbage.
+        let mut rng = Xoshiro256pp::seed_from_u64(2);
+        let coeffs: Vec<u64> = (0..16).map(|_| rng.next_u64() >> 4).collect();
+        let full = roundtrip(&coeffs, 1 << 16);
+        assert_eq!(full, coeffs);
+        let mut last_err = u64::MAX;
+        for budget in [64, 128, 256, 512, 1024, 4096] {
+            let out = roundtrip(&coeffs, budget);
+            let err: u64 = coeffs
+                .iter()
+                .zip(&out)
+                .map(|(a, b)| a.max(b) - a.min(b))
+                .max()
+                .unwrap();
+            assert!(err <= last_err, "budget {budget}: {err} > {last_err}");
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn single_significant_coefficient() {
+        let mut coeffs = vec![0u64; 16];
+        coeffs[7] = 0xDEAD_BEEF;
+        let out = roundtrip(&coeffs, 1 << 14);
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn last_coefficient_implied_bit() {
+        // Only the final coefficient significant: exercises the size−1
+        // implied-bit path.
+        let mut coeffs = vec![0u64; 16];
+        coeffs[15] = 1 << 40;
+        let out = roundtrip(&coeffs, 1 << 14);
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn all_ones_roundtrip() {
+        let coeffs = vec![u64::MAX >> 1; 16];
+        let out = roundtrip(&coeffs, 1 << 16);
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn zero_budget_decodes_to_zero() {
+        let coeffs: Vec<u64> = (0..8).map(|i| i * 1000 + 1).collect();
+        let out = roundtrip(&coeffs, 0);
+        assert!(out.iter().all(|&c| c == 0));
+    }
+}

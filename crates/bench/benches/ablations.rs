@@ -1,0 +1,72 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * Rayon data-parallelism vs a single thread (substitution #1 — the
+//!   GPU-replacement claim rests on this scaling),
+//! * DCT vs Haar vs identity transform cost,
+//! * block size impact on compression throughput.
+
+use blazr::{compress, Settings, TransformKind};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn random_2d(n: usize) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(7);
+    NdArray::from_fn(vec![n, n], |_| rng.uniform())
+}
+
+fn bench_parallel_vs_serial(c: &mut Criterion) {
+    let a = random_2d(1024);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let mut g = c.benchmark_group("ablation/parallelism-1024x1024");
+    g.sample_size(10);
+    for threads in [1usize, 2, 4, 0] {
+        let label = if threads == 0 {
+            "all-cores".to_string()
+        } else {
+            format!("{threads}-thread")
+        };
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(label), &a, |b, a| {
+            b.iter(|| pool.install(|| compress::<f32, i16>(a, &settings).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_transforms(c: &mut Criterion) {
+    let a = random_2d(512);
+    let mut g = c.benchmark_group("ablation/transform-512x512");
+    g.sample_size(10);
+    for kind in [TransformKind::Dct, TransformKind::Haar, TransformKind::Identity] {
+        let settings = Settings::new(vec![8, 8]).unwrap().with_transform(kind);
+        g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &a, |b, a| {
+            b.iter(|| compress::<f32, i16>(a, &settings).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let a = random_2d(512);
+    let mut g = c.benchmark_group("ablation/block-size-512x512");
+    g.sample_size(10);
+    for bs in [4usize, 8, 16, 32] {
+        let settings = Settings::new(vec![bs, bs]).unwrap();
+        g.bench_with_input(BenchmarkId::from_parameter(bs), &a, |b, a| {
+            b.iter(|| compress::<f32, i16>(a, &settings).unwrap());
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_parallel_vs_serial,
+    bench_transforms,
+    bench_block_sizes
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion comparison of the four codecs in the repository: blazr,
+//! Blaz, zfpoid (fixed-rate), and szoid (error-bounded), on the same
+//! workload.
+
+use blazr::{compress, Settings};
+use blazr_baselines::blaz::BlazCompressed;
+use blazr_baselines::szoid::Szoid;
+use blazr_baselines::zfpoid::Zfpoid;
+use blazr_datasets::gradient::hypercube;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_compress_comparison(c: &mut Criterion) {
+    let a = hypercube(256, 2);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let mut g = c.benchmark_group("codec-comparison/compress-256x256");
+    g.sample_size(10);
+    g.bench_function("blazr-f64-i8", |b| {
+        b.iter(|| compress::<f64, i8>(&a, &settings).unwrap())
+    });
+    g.bench_function("blaz", |b| b.iter(|| BlazCompressed::compress(&a)));
+    g.bench_function("zfpoid-rate8", |b| {
+        let codec = Zfpoid::fixed_rate(8);
+        b.iter(|| codec.compress(&a))
+    });
+    g.bench_function("szoid-1e-3", |b| {
+        let codec = Szoid::new(1e-3);
+        b.iter(|| codec.compress(&a))
+    });
+    g.finish();
+}
+
+fn bench_decompress_comparison(c: &mut Criterion) {
+    let a = hypercube(256, 2);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let blazr_c = compress::<f64, i8>(&a, &settings).unwrap();
+    let blaz_c = BlazCompressed::compress(&a);
+    let zfp_bytes = Zfpoid::fixed_rate(8).compress(&a);
+    let (sz_bytes, _) = Szoid::new(1e-3).compress(&a);
+    let mut g = c.benchmark_group("codec-comparison/decompress-256x256");
+    g.sample_size(10);
+    g.bench_function("blazr-f64-i8", |b| b.iter(|| blazr_c.decompress()));
+    g.bench_function("blaz", |b| b.iter(|| blaz_c.decompress()));
+    g.bench_function("zfpoid-rate8", |b| {
+        b.iter(|| Zfpoid::decompress(&zfp_bytes).unwrap())
+    });
+    g.bench_function("szoid-1e-3", |b| {
+        b.iter(|| Szoid::decompress(&sz_bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress_comparison, bench_decompress_comparison);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the core codec: compression and
+//! decompression across array sizes, precisions, and index widths.
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_precision::F16;
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn random_2d(n: usize) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(n as u64);
+    NdArray::from_fn(vec![n, n], |_| rng.uniform())
+}
+
+fn bench_compress_sizes(c: &mut Criterion) {
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let mut g = c.benchmark_group("compress/f32-i16");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let a = random_2d(n);
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &a, |b, a| {
+            b.iter(|| compress::<f32, i16>(a, &settings).unwrap());
+        });
+    }
+    g.finish();
+}
+
+fn bench_decompress_sizes(c: &mut Criterion) {
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let mut g = c.benchmark_group("decompress/f32-i16");
+    g.sample_size(10);
+    for n in [64usize, 256, 1024] {
+        let a = random_2d(n);
+        let compressed: CompressedArray<f32, i16> = compress(&a, &settings).unwrap();
+        g.throughput(Throughput::Elements((n * n) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &compressed, |b, c| {
+            b.iter(|| c.decompress());
+        });
+    }
+    g.finish();
+}
+
+fn bench_precisions(c: &mut Criterion) {
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let a = random_2d(256);
+    let mut g = c.benchmark_group("compress/precision");
+    g.sample_size(10);
+    g.bench_function("f64", |b| {
+        b.iter(|| compress::<f64, i16>(&a, &settings).unwrap())
+    });
+    g.bench_function("f32", |b| {
+        b.iter(|| compress::<f32, i16>(&a, &settings).unwrap())
+    });
+    g.bench_function("f16-software", |b| {
+        b.iter(|| compress::<F16, i16>(&a, &settings).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let a = random_2d(512);
+    let compressed: CompressedArray<f32, i8> = compress(&a, &settings).unwrap();
+    let bytes = compressed.to_bytes();
+    let mut g = c.benchmark_group("serialize");
+    g.sample_size(10);
+    g.bench_function("to_bytes", |b| b.iter(|| compressed.to_bytes()));
+    g.bench_function("from_bytes", |b| {
+        b.iter(|| CompressedArray::<f32, i8>::from_bytes(&bytes).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress_sizes,
+    bench_decompress_sizes,
+    bench_precisions,
+    bench_serialization
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks for every compressed-space operation
+//! (Table I) at a fixed representative size.
+
+use blazr::ops::SsimParams;
+use blazr::{compress, CompressedArray, Settings};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (CompressedArray<f32, i16>, CompressedArray<f32, i16>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let a = NdArray::from_fn(vec![256, 256], |_| rng.uniform());
+    let b = NdArray::from_fn(vec![256, 256], |_| rng.uniform());
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    (
+        compress(&a, &settings).unwrap(),
+        compress(&b, &settings).unwrap(),
+    )
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let (ca, cb) = setup();
+    let mut g = c.benchmark_group("ops/256x256-f32-i16");
+    g.sample_size(20);
+    g.bench_function("negate", |b| b.iter(|| ca.negate()));
+    g.bench_function("add", |b| b.iter(|| ca.add(&cb).unwrap()));
+    g.bench_function("sub", |b| b.iter(|| ca.sub(&cb).unwrap()));
+    g.bench_function("add_scalar", |b| b.iter(|| ca.add_scalar(0.5).unwrap()));
+    g.bench_function("mul_scalar", |b| b.iter(|| ca.mul_scalar(1.5)));
+    g.bench_function("dot", |b| b.iter(|| ca.dot(&cb).unwrap()));
+    g.bench_function("mean", |b| b.iter(|| ca.mean().unwrap()));
+    g.bench_function("covariance", |b| b.iter(|| ca.covariance(&cb).unwrap()));
+    g.bench_function("variance", |b| b.iter(|| ca.variance().unwrap()));
+    g.bench_function("l2_norm", |b| b.iter(|| ca.l2_norm()));
+    g.bench_function("cosine_similarity", |b| {
+        b.iter(|| ca.cosine_similarity(&cb).unwrap())
+    });
+    g.bench_function("ssim", |b| {
+        b.iter(|| ca.ssim(&cb, &SsimParams::default()).unwrap())
+    });
+    g.bench_function("wasserstein_p2", |b| {
+        b.iter(|| ca.wasserstein(&cb, 2.0).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_op_vs_decompress(c: &mut Criterion) {
+    // The headline claim: operating compressed must beat
+    // decompress-operate-recompress.
+    let (ca, cb) = setup();
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let mut g = c.benchmark_group("add-strategies/256x256");
+    g.sample_size(10);
+    g.bench_function("compressed_space", |b| b.iter(|| ca.add(&cb).unwrap()));
+    g.bench_function("decompress_add_recompress", |b| {
+        b.iter(|| {
+            let da = ca.decompress();
+            let db = cb.decompress();
+            compress::<f32, i16>(&da.add(&db), &settings).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops, bench_op_vs_decompress);
+criterion_main!(benches);

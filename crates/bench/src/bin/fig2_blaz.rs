@@ -1,0 +1,88 @@
+//! Regenerates **Fig. 2**: PyBlaz vs Blaz operation time (compress,
+//! decompress, add, multiply) over square 2-D arrays of growing size.
+//!
+//! PyBlaz settings match the paper's: f64 scales, int8 indices, 8×8
+//! blocks. The expected *shape*: blazr (data-parallel) stays near-flat
+//! until the thread pool saturates, then grows polynomially; Blaz
+//! (single-threaded) grows polynomially throughout and loses by a widening
+//! factor at scale.
+//!
+//! Output: `results/fig2_blaz_times.csv`.
+
+use blazr::{compress, Settings};
+use blazr_baselines::blaz::BlazCompressed;
+use blazr_bench::{sweep, time_median};
+use blazr_tensor::NdArray;
+use blazr_util::csv::{CsvField, CsvWriter};
+use blazr_util::rng::Xoshiro256pp;
+
+fn main() {
+    let sizes = sweep(
+        &[8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192],
+        &[8, 64, 256],
+    );
+    let mut csv = CsvWriter::with_header(&[
+        "size",
+        "pyblaz_compress",
+        "pyblaz_decompress",
+        "pyblaz_add",
+        "pyblaz_multiply",
+        "blaz_compress",
+        "blaz_decompress",
+        "blaz_add",
+        "blaz_multiply",
+    ]);
+    println!("Fig. 2 — blazr vs Blaz times (seconds, median of 3)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "size", "bz.comp", "bz.decomp", "bz.add", "bz.mul", "blaz.comp", "blaz.decomp",
+        "blaz.add", "blaz.mul"
+    );
+
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    for &n in &sizes {
+        let mut rng = Xoshiro256pp::seed_from_u64(n as u64);
+        let a = NdArray::from_fn(vec![n, n], |_| rng.uniform());
+        let b = NdArray::from_fn(vec![n, n], |_| rng.uniform());
+        let reps = if n <= 512 { 5 } else { 3 };
+
+        let t_pc = time_median(reps, || compress::<f64, i8>(&a, &settings).unwrap());
+        let ca = compress::<f64, i8>(&a, &settings).unwrap();
+        let cb = compress::<f64, i8>(&b, &settings).unwrap();
+        let t_pd = time_median(reps, || ca.decompress());
+        let t_pa = time_median(reps, || ca.add(&cb).unwrap());
+        let t_pm = time_median(reps, || ca.mul_scalar(1.5));
+
+        // Blaz past 2048² takes minutes; the paper's own Fig. 2 stops
+        // Blaz early too. Cap it and emit NaN beyond.
+        let (t_bc, t_bd, t_ba, t_bm) = if n <= 2048 {
+            let t_bc = time_median(reps, || BlazCompressed::compress(&a));
+            let ba = BlazCompressed::compress(&a);
+            let bb = BlazCompressed::compress(&b);
+            let t_bd = time_median(reps, || ba.decompress());
+            let t_ba = time_median(reps, || ba.add(&bb));
+            let t_bm = time_median(reps, || ba.mul_scalar(1.5));
+            (t_bc, t_bd, t_ba, t_bm)
+        } else {
+            (f64::NAN, f64::NAN, f64::NAN, f64::NAN)
+        };
+
+        println!(
+            "{n:>6} {t_pc:>12.3e} {t_pd:>12.3e} {t_pa:>12.3e} {t_pm:>12.3e} {t_bc:>12.3e} {t_bd:>12.3e} {t_ba:>12.3e} {t_bm:>12.3e}"
+        );
+        csv.push_row(&[
+            CsvField::Int(n as i64),
+            CsvField::Float(t_pc),
+            CsvField::Float(t_pd),
+            CsvField::Float(t_pa),
+            CsvField::Float(t_pm),
+            CsvField::Float(t_bc),
+            CsvField::Float(t_bd),
+            CsvField::Float(t_ba),
+            CsvField::Float(t_bm),
+        ]);
+    }
+    let path = blazr_bench::results_dir().join("fig2_blaz_times.csv");
+    csv.write_to(&path).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,82 @@
+//! Regenerates **Fig. 3(a–d)**: compression and decompression time versus
+//! a ZFP-style fixed-rate codec, on the §IV-E constant-gradient arrays.
+//!
+//! ZFP rates 8/16/32 bits-per-scalar give ratios ≈ 8/4/2 from FP64; blazr
+//! ratios ≈ 8 and ≈ 4 come from int8 and int16 bin indices (as the paper
+//! states in the Fig. 3 caption). 2-D and 3-D, sizes 8..512 per side.
+//!
+//! Output: `results/fig3_zfp_times.csv`.
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_baselines::zfpoid::Zfpoid;
+use blazr_bench::{sweep, time_median};
+use blazr_datasets::gradient::hypercube;
+use blazr_util::csv::{CsvField, CsvWriter};
+
+fn main() {
+    let mut csv = CsvWriter::with_header(&[
+        "dims", "size", "codec", "setting", "ratio", "compress_s", "decompress_s",
+    ]);
+    println!("Fig. 3 — blazr vs zfpoid (seconds, median of 3)");
+
+    for d in [2usize, 3] {
+        let sizes: Vec<usize> = if d == 2 {
+            sweep(&[8usize, 16, 32, 64, 128, 256, 512], &[8, 64])
+        } else {
+            sweep(&[8usize, 16, 32, 64, 128, 256], &[8, 32])
+        };
+        for &n in &sizes {
+            let a = hypercube(n, d);
+            let reps = 3;
+            // zfpoid at the paper's three rates.
+            for rate in [8u32, 16, 32] {
+                let codec = Zfpoid::fixed_rate(rate);
+                let t_c = time_median(reps, || codec.compress(&a));
+                let bytes = codec.compress(&a);
+                let t_d = time_median(reps, || Zfpoid::decompress(&bytes).unwrap());
+                let ratio = (a.len() * 8) as f64 / bytes.len() as f64;
+                println!(
+                    "{d}D n={n:>4} zfpoid rate {rate:>2}: ratio {ratio:>6.2} comp {t_c:.3e} decomp {t_d:.3e}"
+                );
+                csv.push_row(&[
+                    CsvField::Int(d as i64),
+                    CsvField::Int(n as i64),
+                    CsvField::Str("zfpoid"),
+                    CsvField::Str(&format!("rate{rate}")),
+                    CsvField::Float(ratio),
+                    CsvField::Float(t_c),
+                    CsvField::Float(t_d),
+                ]);
+            }
+            // blazr with int8 (ratio ≈ 8) and int16 (ratio ≈ 4), block 4^d.
+            let settings = Settings::new(vec![4; d]).unwrap();
+            macro_rules! run_blazr {
+                ($i:ty, $label:expr) => {{
+                    let t_c =
+                        time_median(reps, || compress::<f32, $i>(&a, &settings).unwrap());
+                    let c: CompressedArray<f32, $i> = compress(&a, &settings).unwrap();
+                    let t_d = time_median(reps, || c.decompress());
+                    let ratio = c.compression_ratio();
+                    println!(
+                        "{}D n={n:>4} blazr {:>6}: ratio {ratio:>6.2} comp {t_c:.3e} decomp {t_d:.3e}",
+                        d, $label
+                    );
+                    csv.push_row(&[
+                        CsvField::Int(d as i64),
+                        CsvField::Int(n as i64),
+                        CsvField::Str("blazr"),
+                        CsvField::Str($label),
+                        CsvField::Float(ratio),
+                        CsvField::Float(t_c),
+                        CsvField::Float(t_d),
+                    ]);
+                }};
+            }
+            run_blazr!(i8, "int8");
+            run_blazr!(i16, "int16");
+        }
+    }
+    let path = blazr_bench::results_dir().join("fig3_zfp_times.csv");
+    csv.write_to(&path).expect("write results");
+    println!("wrote {}", path.display());
+}

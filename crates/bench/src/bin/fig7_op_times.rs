@@ -1,0 +1,109 @@
+//! Regenerates **Fig. 7(b–l)**: time per compressed-space operation for
+//! 3-dimensional cubic arrays with block size 4, across the 12
+//! (float type × index type) setting combinations of the paper's legend.
+//!
+//! Operations timed: compress, decompress, negate, add, multiply, dot,
+//! L2 norm, cosine similarity, mean, variance, SSIM.
+//!
+//! Output: `results/fig7_op_times.csv` (one row per setting × size ×
+//! operation). Array sizes default to 4..=128 per side (the paper goes to
+//! 1024 on a 24 GB GPU; sizes are configurable via `--size-cap N`).
+
+use blazr::dynamic::{compress_dyn, DynCompressed};
+use blazr::ops::SsimParams;
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_bench::time_median;
+use blazr_tensor::NdArray;
+use blazr_util::csv::{CsvField, CsvWriter};
+use blazr_util::rng::Xoshiro256pp;
+
+fn size_cap() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    for w in args.windows(2) {
+        if w[0] == "--size-cap" {
+            return w[1].parse().expect("numeric --size-cap");
+        }
+    }
+    if blazr_bench::quick_mode() {
+        16
+    } else {
+        128
+    }
+}
+
+fn main() {
+    let cap = size_cap();
+    let sizes: Vec<usize> = [4usize, 8, 16, 32, 64, 128, 256, 512, 1024]
+        .into_iter()
+        .filter(|&s| s <= cap)
+        .collect();
+    let float_types = if blazr_bench::quick_mode() {
+        vec![ScalarType::F32]
+    } else {
+        ScalarType::ALL.to_vec()
+    };
+    let index_types = [IndexType::I8, IndexType::I16, IndexType::I32];
+    let settings = Settings::new(vec![4, 4, 4]).unwrap();
+
+    let mut csv = CsvWriter::with_header(&[
+        "float_type",
+        "index_type",
+        "size",
+        "operation",
+        "seconds",
+    ]);
+    println!("Fig. 7 — compressed-space operation times, 3-D arrays, block 4³");
+
+    for &n in &sizes {
+        let mut rng = Xoshiro256pp::seed_from_u64(n as u64);
+        let a = NdArray::from_fn(vec![n, n, n], |_| rng.uniform());
+        let b = NdArray::from_fn(vec![n, n, n], |_| rng.uniform());
+        let reps = if n <= 64 { 5 } else { 3 };
+        for &ft in &float_types {
+            for &it in &index_types {
+                let t_compress = time_median(reps, || compress_dyn(&a, &settings, ft, it).unwrap());
+                let ca = compress_dyn(&a, &settings, ft, it).unwrap();
+                let cb = compress_dyn(&b, &settings, ft, it).unwrap();
+                let ops: Vec<(&str, f64)> = vec![
+                    ("compress", t_compress),
+                    ("decompress", time_median(reps, || ca.decompress())),
+                    ("negate", time_median(reps, || ca.negate())),
+                    ("add", time_median(reps, || ca.add(&cb).unwrap())),
+                    ("multiply", time_median(reps, || ca.mul_scalar(1.5))),
+                    ("dot", time_median(reps, || ca.dot(&cb).unwrap())),
+                    ("l2_norm", time_median(reps, || ca.l2_norm())),
+                    (
+                        "cosine_similarity",
+                        time_median(reps, || ca.cosine_similarity(&cb).unwrap()),
+                    ),
+                    ("mean", time_median(reps, || ca.mean().unwrap())),
+                    ("variance", time_median(reps, || ca.variance().unwrap())),
+                    (
+                        "ssim",
+                        time_median(reps, || ca.ssim(&cb, &SsimParams::default()).unwrap()),
+                    ),
+                ];
+                for (op, t) in &ops {
+                    csv.push_row(&[
+                        CsvField::Str(ft.name()),
+                        CsvField::Str(it.name()),
+                        CsvField::Int(n as i64),
+                        CsvField::Str(op),
+                        CsvField::Float(*t),
+                    ]);
+                }
+                let summary: String = ops
+                    .iter()
+                    .filter(|(op, _)| ["compress", "add", "dot", "ssim"].contains(op))
+                    .map(|(op, t)| format!("{op} {t:.2e}"))
+                    .collect::<Vec<_>>()
+                    .join("  ");
+                println!("n={n:>4} {:<9} {:<6}: {summary}", ft.name(), it.name());
+                let _ = &ca as &DynCompressed;
+            }
+        }
+    }
+    let path = blazr_bench::results_dir().join("fig7_op_times.csv");
+    csv.write_to(&path).expect("write results");
+    println!("wrote {}", path.display());
+}

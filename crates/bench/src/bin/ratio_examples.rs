@@ -1,0 +1,64 @@
+//! Regenerates the **§IV-C compression-ratio examples**: the paper's
+//! closed-form ratios (≈2.91 and ≈10.66 for shape (3,224,224), block
+//! (4,4,4)) checked three ways — formula, exact accounting with headers,
+//! and the actual serialized byte stream.
+//!
+//! Output: `results/ratio_examples.csv`.
+
+use blazr::{compress, PruningMask, Settings};
+use blazr_tensor::NdArray;
+use blazr_util::csv::{CsvField, CsvWriter};
+use blazr_util::rng::Xoshiro256pp;
+
+fn main() {
+    let shape = [3usize, 224, 224];
+    let block = [4usize, 4, 4];
+    let mut csv = CsvWriter::with_header(&[
+        "case",
+        "paper_ratio",
+        "formula_ratio",
+        "exact_ratio_with_headers",
+        "serialized_ratio",
+    ]);
+
+    let mut rng = Xoshiro256pp::seed_from_u64(2023);
+    let a = NdArray::from_fn(shape.to_vec(), |_| rng.uniform());
+
+    // Case 1: FP32 scales, int16 indices, no pruning → ≈ 2.91.
+    let s1 = Settings::new(block.to_vec()).unwrap();
+    let c1 = compress::<f32, i16>(&a, &s1).unwrap();
+    let formula1 = blazr::ratio::paper_asymptotic_ratio(64, &shape, &block, 32, 16, 64);
+    let exact1 = blazr::ratio::exact_ratio(64, &shape, &block, 32, 16, 64);
+    let ser1 = (a.len() * 8) as f64 / c1.to_bytes().len() as f64;
+    println!("fp32/int16/no-prune : paper 2.91  formula {formula1:.3}  exact {exact1:.3}  serialized {ser1:.3}");
+    csv.push_row(&[
+        CsvField::Str("fp32_int16_noprune"),
+        CsvField::Float(2.91),
+        CsvField::Float(formula1),
+        CsvField::Float(exact1),
+        CsvField::Float(ser1),
+    ]);
+
+    // Case 2: int8 indices, half the indices pruned → ≈ 10.66.
+    let mask = PruningMask::keep_lowest_frequencies(&block, 32).unwrap();
+    let s2 = Settings::new(block.to_vec())
+        .unwrap()
+        .with_mask(mask)
+        .unwrap();
+    let c2 = compress::<f32, i8>(&a, &s2).unwrap();
+    let formula2 = blazr::ratio::paper_asymptotic_ratio(64, &shape, &block, 32, 8, 32);
+    let exact2 = blazr::ratio::exact_ratio(64, &shape, &block, 32, 8, 32);
+    let ser2 = (a.len() * 8) as f64 / c2.to_bytes().len() as f64;
+    println!("fp32/int8/half-prune: paper 10.66 formula {formula2:.3}  exact {exact2:.3}  serialized {ser2:.3}");
+    csv.push_row(&[
+        CsvField::Str("fp32_int8_halfprune"),
+        CsvField::Float(10.66),
+        CsvField::Float(formula2),
+        CsvField::Float(exact2),
+        CsvField::Float(ser2),
+    ]);
+
+    let path = blazr_bench::results_dir().join("ratio_examples.csv");
+    csv.write_to(&path).expect("write results");
+    println!("wrote {}", path.display());
+}

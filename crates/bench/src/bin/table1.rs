@@ -1,0 +1,139 @@
+//! Regenerates **Table I**: the compressed-space operation repertoire,
+//! each operation's result type and error source — with the error *measured*
+//! against the uncompressed reference on a random workload, demonstrating
+//! the paper's "no additional error" column empirically.
+//!
+//! Output: `results/table1_operations.csv` and a console table.
+
+use blazr::ops::SsimParams;
+use blazr::{compress, Settings};
+use blazr_tensor::{reduce, NdArray};
+use blazr_util::csv::{CsvField, CsvWriter};
+use blazr_util::rng::Xoshiro256pp;
+
+fn main() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7AB1E1);
+    let shape = vec![64, 64];
+    let a = NdArray::from_fn(shape.clone(), |_| rng.uniform());
+    let b = NdArray::from_fn(shape.clone(), |_| rng.uniform());
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let ca = compress::<f64, i16>(&a, &settings).unwrap();
+    let cb = compress::<f64, i16>(&b, &settings).unwrap();
+    // Decompressed views: "no additional error" means the compressed-space
+    // result equals the same operation on these, to fp precision.
+    let da = ca.decompress();
+    let db = cb.decompress();
+
+    let mut rows: Vec<(&str, &str, &str, f64)> = Vec::new();
+
+    let rel = |x: f64, r: f64| (x - r).abs() / r.abs().max(1e-12);
+
+    // Negation: compare decompress(neg(c)) vs −decompress(c).
+    let neg_err = blazr_util::stats::max_abs_diff(
+        ca.negate().decompress().as_slice(),
+        da.neg().as_slice(),
+    );
+    rows.push(("negation", "array", "none", neg_err));
+
+    // Element-wise addition: error beyond compression = vs da + db.
+    let add_err = blazr_util::stats::max_abs_diff(
+        ca.add(&cb).unwrap().decompress().as_slice(),
+        da.add(&db).as_slice(),
+    );
+    rows.push(("element-wise addition", "array", "rebinning", add_err));
+
+    let adds_err = blazr_util::stats::max_abs_diff(
+        ca.add_scalar(0.5).unwrap().decompress().as_slice(),
+        da.add_scalar(0.5).as_slice(),
+    );
+    rows.push(("addition of a scalar", "array", "rebinning", adds_err));
+
+    let muls_err = blazr_util::stats::max_abs_diff(
+        ca.mul_scalar(-3.0).decompress().as_slice(),
+        da.mul_scalar(-3.0).as_slice(),
+    );
+    rows.push(("multiplication by a scalar", "array", "none", muls_err));
+
+    rows.push((
+        "dot product",
+        "scalar",
+        "none",
+        rel(ca.dot(&cb).unwrap(), reduce::dot(&da, &db)),
+    ));
+    rows.push((
+        "mean",
+        "scalar",
+        "none",
+        rel(ca.mean().unwrap(), reduce::mean(&da)),
+    ));
+    rows.push((
+        "covariance",
+        "scalar",
+        "none",
+        rel(ca.covariance(&cb).unwrap(), reduce::covariance(&da, &db)),
+    ));
+    rows.push((
+        "variance",
+        "scalar",
+        "none",
+        rel(ca.variance().unwrap(), reduce::variance(&da)),
+    ));
+    rows.push((
+        "L2 norm",
+        "scalar",
+        "none",
+        rel(ca.l2_norm(), reduce::norm_l2(&da)),
+    ));
+    rows.push((
+        "cosine similarity",
+        "scalar",
+        "none",
+        rel(
+            ca.cosine_similarity(&cb).unwrap(),
+            reduce::cosine_similarity(&da, &db),
+        ),
+    ));
+    rows.push((
+        "SSIM",
+        "scalar",
+        "none",
+        rel(
+            ca.ssim(&cb, &SsimParams::default()).unwrap(),
+            reduce::ssim(&da, &db, &SsimParams::default()),
+        ),
+    ));
+    // Approximate Wasserstein: error is a function of block size, so the
+    // reference here is the exact distance on the *original* arrays.
+    rows.push((
+        "approx. Wasserstein distance",
+        "scalar",
+        "block size",
+        (ca.wasserstein(&cb, 2.0).unwrap()
+            - reduce::wasserstein_1d(a.as_slice(), b.as_slice(), 2.0))
+        .abs(),
+    ));
+
+    let mut csv = CsvWriter::with_header(&[
+        "operation",
+        "result_type",
+        "error_source",
+        "measured_error_vs_reference",
+    ]);
+    println!("Table I — compressed-space operations (64×64, f64/int16, 8×8 blocks)");
+    println!(
+        "{:<30} {:>8} {:>12} {:>24}",
+        "operation", "result", "error src", "measured err vs ref"
+    );
+    for (op, ty, src, err) in &rows {
+        println!("{op:<30} {ty:>8} {src:>12} {err:>24.3e}");
+        csv.push_row(&[
+            CsvField::Str(op),
+            CsvField::Str(ty),
+            CsvField::Str(src),
+            CsvField::Float(*err),
+        ]);
+    }
+    let path = blazr_bench::results_dir().join("table1_operations.csv");
+    csv.write_to(&path).expect("write results");
+    println!("\nwrote {}", path.display());
+}

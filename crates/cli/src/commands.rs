@@ -1,0 +1,330 @@
+//! Subcommand implementations.
+
+use crate::args::{parse_float_type, parse_index_type, parse_shape, parse_transform, Args};
+use crate::io::{read_f64, write_f64};
+use blazr::dynamic::{compress_dyn, from_bytes_dyn};
+use blazr::ops::SsimParams;
+use blazr::tune::{tune_for_linf, TuneOptions};
+use blazr::{IndexType, PruningMask, ScalarType, Settings};
+use std::fs;
+use std::path::Path;
+
+const HELP: &str = "\
+blazr — operate directly on compressed arrays
+
+USAGE:
+  blazr compress   <in.f64> --shape DxHxW [--block 8x8] [--float f32]
+                   [--index i16] [--transform dct] [--keep N] -o <out.blz>
+  blazr decompress <in.blz> -o <out.f64>
+  blazr info       <in.blz>
+  blazr stats      <in.blz>
+  blazr diff       <a.blz> <b.blz> [--wasserstein-p P]
+  blazr tune       <in.f64> --shape DxHxW --target-linf EPS
+  blazr help
+
+Raw files are flat little-endian float64. Compressed files use the paper's
+§IV-C bit layout and embed their own type/shape/mask metadata.";
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let Some(cmd) = argv.first() else {
+        return Err("no subcommand given".into());
+    };
+    let rest = &argv[1..];
+    match cmd.as_str() {
+        "compress" => compress_cmd(rest),
+        "decompress" => decompress_cmd(rest),
+        "info" => info_cmd(rest),
+        "stats" => stats_cmd(rest),
+        "diff" => diff_cmd(rest),
+        "tune" => tune_cmd(rest),
+        "help" | "--help" | "-h" => {
+            println!("{HELP}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand {other:?}")),
+    }
+}
+
+fn build_settings(args: &Args, ndim: usize) -> Result<Settings, String> {
+    let block = match args.option("block") {
+        Some(b) => parse_shape(b)?,
+        None => vec![8; ndim],
+    };
+    let mut settings = Settings::new(block.clone()).map_err(|e| e.to_string())?;
+    if let Some(t) = args.option("transform") {
+        settings = settings.with_transform(parse_transform(t)?);
+    }
+    if let Some(k) = args.option("keep") {
+        let kept: usize = k.parse().map_err(|e| format!("bad --keep: {e}"))?;
+        let mask =
+            PruningMask::keep_lowest_frequencies(&block, kept).map_err(|e| e.to_string())?;
+        settings = settings.with_mask(mask).map_err(|e| e.to_string())?;
+    }
+    Ok(settings)
+}
+
+fn compress_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("compress needs an input file")?;
+    let shape = parse_shape(args.require("shape")?)?;
+    let out = args.require("output")?;
+    let ft = match args.option("float") {
+        Some(f) => parse_float_type(f)?,
+        None => ScalarType::F32,
+    };
+    let it = match args.option("index") {
+        Some(i) => parse_index_type(i)?,
+        None => IndexType::I16,
+    };
+    let a = read_f64(Path::new(input), &shape)?;
+    let settings = build_settings(&args, shape.len())?;
+    let c = compress_dyn(&a, &settings, ft, it).map_err(|e| e.to_string())?;
+    let bytes = c.to_bytes();
+    fs::write(out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "{} -> {} ({} bytes, ratio {:.2}x vs f64, {} scales, {} indices)",
+        input,
+        out,
+        bytes.len(),
+        c.compression_ratio(),
+        ft.name(),
+        it.name()
+    );
+    Ok(())
+}
+
+fn decompress_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("decompress needs an input file")?;
+    let out = args.require("output")?;
+    let bytes = fs::read(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let c = from_bytes_dyn(&bytes).map_err(|e| e.to_string())?;
+    let a = c.decompress();
+    write_f64(Path::new(out), &a)?;
+    println!(
+        "{} -> {} (shape {:?}, {} elements)",
+        input,
+        out,
+        a.shape(),
+        a.len()
+    );
+    Ok(())
+}
+
+fn load_compressed(path: &str) -> Result<blazr::dynamic::DynCompressed, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_bytes_dyn(&bytes).map_err(|e| e.to_string())
+}
+
+fn info_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args.positionals.first().ok_or("info needs an input file")?;
+    let c = load_compressed(input)?;
+    println!("file          : {input}");
+    println!("shape         : {:?}", c.shape());
+    println!("float type    : {}", c.float_type().name());
+    println!("index type    : {}", c.index_type().name());
+    println!("payload       : {} bits", c.payload_bits());
+    println!("ratio vs f64  : {:.3}x", c.compression_ratio());
+    Ok(())
+}
+
+fn stats_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args.positionals.first().ok_or("stats needs an input file")?;
+    let c = load_compressed(input)?;
+    println!("mean      : {}", fmt_res(c.mean()));
+    println!("variance  : {}", fmt_res(c.variance()));
+    println!("l2 norm   : {:.9e}", c.l2_norm());
+    Ok(())
+}
+
+fn fmt_res(r: Result<f64, blazr::BlazError>) -> String {
+    match r {
+        Ok(v) => format!("{v:.9e}"),
+        Err(e) => format!("(unavailable: {e})"),
+    }
+}
+
+fn diff_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let (a_path, b_path) = match &args.positionals[..] {
+        [a, b] => (a, b),
+        _ => return Err("diff needs exactly two compressed files".into()),
+    };
+    let a = load_compressed(a_path)?;
+    let b = load_compressed(b_path)?;
+    let diff = a.sub(&b).map_err(|e| e.to_string())?;
+    println!("l2 distance        : {:.9e}", diff.l2_norm());
+    println!(
+        "cosine similarity  : {}",
+        fmt_res(a.cosine_similarity(&b))
+    );
+    println!(
+        "ssim               : {}",
+        fmt_res(a.ssim(&b, &SsimParams::default()))
+    );
+    let p: f64 = match args.option("wasserstein-p") {
+        Some(v) => v.parse().map_err(|e| format!("bad --wasserstein-p: {e}"))?,
+        None => 2.0,
+    };
+    println!(
+        "wasserstein (p={p}) : {}",
+        fmt_res(a.wasserstein(&b, p))
+    );
+    println!(
+        "approx Linf distance: {}",
+        fmt_res(a.approx_linf_distance(&b))
+    );
+    Ok(())
+}
+
+fn tune_cmd(argv: &[String]) -> Result<(), String> {
+    let args = Args::parse(argv, &[])?;
+    let input = args.positionals.first().ok_or("tune needs an input file")?;
+    let shape = parse_shape(args.require("shape")?)?;
+    let target: f64 = args
+        .require("target-linf")?
+        .parse()
+        .map_err(|e| format!("bad --target-linf: {e}"))?;
+    let a = read_f64(Path::new(input), &shape)?;
+    match tune_for_linf(&a, target, &TuneOptions::default()) {
+        Some(r) => {
+            println!("target L∞        : {target:.3e}");
+            println!("achieved L∞      : {:.3e}", r.achieved_linf);
+            println!("ratio vs f64     : {:.2}x", r.ratio);
+            println!("float type       : {}", r.float_type.name());
+            println!("index type       : {}", r.index_type.name());
+            println!("block shape      : {:?}", r.settings.block_shape);
+            println!("kept coefficients: {}", r.settings.mask.kept_count());
+            println!("candidates tried : {}", r.candidates_tried);
+            Ok(())
+        }
+        None => Err(format!("no setting meets L∞ ≤ {target:e}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_tensor::NdArray;
+
+    fn sv(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("blazr-cli-cmd-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        // compress → info → stats → decompress → diff on real files.
+        let raw = tmp("a.f64");
+        let blz = tmp("a.blz");
+        let back = tmp("a_back.f64");
+        let a = NdArray::from_fn(vec![24, 24], |i| (i[0] as f64 / 5.0).sin() + i[1] as f64 * 0.01);
+        write_f64(&raw, &a).unwrap();
+
+        run(&sv(&[
+            "compress",
+            raw.to_str().unwrap(),
+            "--shape",
+            "24x24",
+            "--block",
+            "8x8",
+            "-o",
+            blz.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&["info", blz.to_str().unwrap()])).unwrap();
+        run(&sv(&["stats", blz.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "decompress",
+            blz.to_str().unwrap(),
+            "-o",
+            back.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let d = read_f64(&back, &[24, 24]).unwrap();
+        let err = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
+        assert!(err < 1e-3, "roundtrip err {err}");
+
+        run(&sv(&[
+            "diff",
+            blz.to_str().unwrap(),
+            blz.to_str().unwrap(),
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn compress_with_all_options() {
+        let raw = tmp("b.f64");
+        let blz = tmp("b.blz");
+        let a = NdArray::from_fn(vec![16, 16], |i| i[0] as f64 - i[1] as f64);
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "compress",
+            raw.to_str().unwrap(),
+            "--shape",
+            "16x16",
+            "--block",
+            "4x4",
+            "--float",
+            "f64",
+            "--index",
+            "i8",
+            "--transform",
+            "haar",
+            "--keep",
+            "8",
+            "-o",
+            blz.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let c = load_compressed(blz.to_str().unwrap()).unwrap();
+        assert_eq!(c.float_type(), ScalarType::F64);
+        assert_eq!(c.index_type(), IndexType::I8);
+    }
+
+    #[test]
+    fn tune_command_finds_settings() {
+        let raw = tmp("c.f64");
+        let a = NdArray::from_fn(vec![32, 32], |i| (i[0] as f64 / 9.0).sin());
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "tune",
+            raw.to_str().unwrap(),
+            "--shape",
+            "32x32",
+            "--target-linf",
+            "1e-3",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&sv(&["frobnicate"])).is_err());
+        assert!(run(&sv(&["compress"])).is_err());
+        assert!(run(&sv(&["diff", "only-one.blz"])).is_err());
+        assert!(run(&[]).is_err());
+        assert!(run(&sv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn garbage_compressed_file_is_rejected() {
+        let p = tmp("garbage.blz");
+        fs::write(&p, [0x55u8; 100]).unwrap();
+        assert!(run(&sv(&["info", p.to_str().unwrap()])).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Raw `f64` file I/O.
+
+use blazr_tensor::shape::num_elements;
+use blazr_tensor::NdArray;
+use std::fs;
+use std::path::Path;
+
+/// Reads a flat little-endian `f64` file into an array of `shape`.
+pub fn read_f64(path: &Path, shape: &[usize]) -> Result<NdArray<f64>, String> {
+    let bytes = fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let n = num_elements(shape);
+    if bytes.len() != n * 8 {
+        return Err(format!(
+            "{} holds {} bytes but shape {:?} needs {}",
+            path.display(),
+            bytes.len(),
+            shape,
+            n * 8
+        ));
+    }
+    let data: Vec<f64> = bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect();
+    Ok(NdArray::from_vec(shape.to_vec(), data))
+}
+
+/// Writes an array as a flat little-endian `f64` file.
+pub fn write_f64(path: &Path, a: &NdArray<f64>) -> Result<(), String> {
+    let mut bytes = Vec::with_capacity(a.len() * 8);
+    for &v in a.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    fs::write(path, bytes).map_err(|e| format!("cannot write {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("blazr-cli-io-test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("x.f64");
+        let a = NdArray::from_fn(vec![3, 5], |i| i[0] as f64 * 10.0 + i[1] as f64);
+        write_f64(&path, &a).unwrap();
+        let back = read_f64(&path, &[3, 5]).unwrap();
+        assert_eq!(back, a);
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_size_is_detected() {
+        let dir = std::env::temp_dir().join("blazr-cli-io-test2");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("y.f64");
+        fs::write(&path, [0u8; 24]).unwrap();
+        assert!(read_f64(&path, &[2, 2]).is_err()); // needs 32 bytes
+        fs::remove_file(&path).ok();
+    }
+}

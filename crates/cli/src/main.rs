@@ -1,0 +1,33 @@
+//! `blazr` — command-line interface to the compressed-array codec.
+//!
+//! Raw inputs are flat little-endian `f64` files plus an explicit
+//! `--shape`; compressed files use the bit-exact §IV-C layout produced by
+//! `blazr::serialize` (so they are portable across the CLI and library).
+//!
+//! ```text
+//! blazr compress  data.f64 --shape 100x200 --block 8x8 -o data.blz
+//! blazr decompress data.blz -o roundtrip.f64
+//! blazr info      data.blz
+//! blazr stats     data.blz
+//! blazr diff      a.blz b.blz [--wasserstein-p 2]
+//! blazr tune      data.f64 --shape 100x200 --target-linf 1e-3
+//! ```
+#![forbid(unsafe_code)]
+
+mod args;
+mod commands;
+mod io;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("run `blazr help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! The compressed representation `{s, i, N, F}` (paper §III-B).
+
+use crate::{BinIndex, BlazError, Settings};
+use blazr_precision::Real;
+use blazr_tensor::blocking::Blocked;
+use blazr_tensor::shape::{ceil_div, num_elements};
+use blazr_tensor::NdArray;
+use blazr_transform::BlockTransform;
+use rayon::prelude::*;
+
+/// A compressed array: original shape `s`, settings (block shape `i`,
+/// transform, pruning mask), per-block biggest coefficient `N`, and the
+/// flattened kept bin indices `F` (block-major).
+///
+/// `P` is the floating-point format of all internal arithmetic and of the
+/// stored `N`; `I` is the bin index type. Binary compressed-space
+/// operations require both operands to share `P`, `I`, shape, and settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompressedArray<P, I> {
+    pub(crate) shape: Vec<usize>,
+    pub(crate) settings: Settings,
+    /// `N`: the biggest-magnitude coefficient of each block.
+    pub(crate) biggest: Vec<P>,
+    /// `F`: kept bin indices, `kept_count` per block, block-major.
+    pub(crate) indices: Vec<I>,
+}
+
+impl<P: Real, I: BinIndex> CompressedArray<P, I> {
+    /// The original (uncompressed) shape `s`.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// The compression settings.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// The block shape `i`.
+    pub fn block_shape(&self) -> &[usize] {
+        &self.settings.block_shape
+    }
+
+    /// The block arrangement `b = ⌈s ⊘ i⌉`.
+    pub fn num_blocks(&self) -> Vec<usize> {
+        ceil_div(&self.shape, &self.settings.block_shape)
+    }
+
+    /// Total number of blocks `Πb`.
+    pub fn block_count(&self) -> usize {
+        num_elements(&self.num_blocks())
+    }
+
+    /// Kept coefficients per block `ΣP`.
+    pub fn kept_per_block(&self) -> usize {
+        self.settings.mask.kept_count()
+    }
+
+    /// The per-block biggest coefficients `N`.
+    pub fn biggest(&self) -> &[P] {
+        &self.biggest
+    }
+
+    /// The flattened bin indices `F` (block-major, `kept_per_block` each).
+    pub fn indices(&self) -> &[I] {
+        &self.indices
+    }
+
+    /// Bin indices of block `kb`.
+    pub fn block_indices(&self, kb: usize) -> &[I] {
+        let k = self.kept_per_block();
+        &self.indices[kb * k..(kb + 1) * k]
+    }
+
+    /// Reconstructs the specified coefficient at kept slot `slot` of block
+    /// `kb` (Algorithm 3, one element): `N_k · (F/r)`.
+    #[inline]
+    pub(crate) fn coeff(&self, kb: usize, slot: usize) -> P {
+        let f = self.indices[kb * self.kept_per_block() + slot];
+        P::from_f64(f.unbin()) * self.biggest[kb]
+    }
+
+    /// The specified coefficients `Ĉ` (Algorithm 3), unflattened into full
+    /// blocks with zeros at pruned positions.
+    pub fn specified_coefficients(&self) -> Blocked<P> {
+        let nb = self.num_blocks();
+        let mut out = Blocked::<P>::zeros(nb, self.settings.block_shape.clone());
+        let kept = self.settings.mask.kept_positions().to_vec();
+        let k = kept.len();
+        let indices = &self.indices;
+        let biggest = &self.biggest;
+        out.par_blocks_mut().enumerate().for_each(|(kb, block)| {
+            let n = biggest[kb];
+            for (slot, &pos) in kept.iter().enumerate() {
+                let f = indices[kb * k + slot];
+                block[pos] = P::from_f64(f.unbin()) * n;
+            }
+        });
+        out
+    }
+
+    /// Decompresses back to an `f64` array: scale indices by `N`,
+    /// unflatten, inverse-transform each block, merge, crop (§III-B).
+    pub fn decompress(&self) -> NdArray<f64> {
+        let mut blocked = self.specified_coefficients();
+        let bt = BlockTransform::<P>::new(self.settings.transform, &self.settings.block_shape);
+        let block_len = bt.block_len();
+        blocked.par_blocks_mut().for_each_init(
+            || vec![P::zero(); block_len],
+            |scratch, block| bt.inverse(block, scratch),
+        );
+        let merged = blocked.merge(&self.shape);
+        merged.convert()
+    }
+
+    /// Checks binary-operation compatibility (Table I operations require
+    /// equal shapes and identical settings).
+    pub(crate) fn check_compatible(&self, other: &Self) -> Result<(), BlazError> {
+        if self.shape != other.shape {
+            return Err(BlazError::ShapeMismatch {
+                left: self.shape.clone(),
+                right: other.shape.clone(),
+            });
+        }
+        if self.settings != other.settings {
+            return Err(BlazError::SettingsMismatch);
+        }
+        Ok(())
+    }
+
+    /// Ensures DC-based operations are possible.
+    pub(crate) fn require_dc(&self) -> Result<(), BlazError> {
+        if self.settings.dc_available() {
+            Ok(())
+        } else {
+            Err(BlazError::DcUnavailable)
+        }
+    }
+
+}
+
+impl<P: blazr_precision::StorableReal, I: BinIndex> CompressedArray<P, I> {
+    /// In-memory footprint of the compressed payload in bits, following
+    /// the §IV-C accounting (see [`crate::ratio`] for the breakdown).
+    pub fn payload_bits(&self) -> u64 {
+        crate::ratio::serialized_bits(
+            &self.shape,
+            &self.settings.block_shape,
+            P::BITS,
+            I::BITS,
+            self.kept_per_block(),
+        )
+    }
+
+    /// Compression ratio achieved against a `u`-bit-per-element original.
+    pub fn compression_ratio_from(&self, original_bits_per_element: u32) -> f64 {
+        let raw = original_bits_per_element as u64 * num_elements(&self.shape) as u64;
+        raw as f64 / self.payload_bits() as f64
+    }
+
+    /// Compression ratio against an FP64 original (the common case in the
+    /// paper's experiments).
+    pub fn compression_ratio(&self) -> f64 {
+        self.compression_ratio_from(64)
+    }
+}

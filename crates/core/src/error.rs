@@ -1,0 +1,73 @@
+//! Error type for the blazr codec and its compressed-space operations.
+
+use std::fmt;
+
+/// Everything that can go wrong constructing or operating on compressed
+/// arrays.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BlazError {
+    /// The two operands were compressed from arrays of different shapes.
+    ShapeMismatch {
+        /// Shape of the left operand.
+        left: Vec<usize>,
+        /// Shape of the right operand.
+        right: Vec<usize>,
+    },
+    /// The operands' compression settings (block shape, transform, or
+    /// pruning mask) differ; compressed-space binary operations require
+    /// identical settings.
+    SettingsMismatch,
+    /// The operation reads the per-block DC coefficient (mean, scalar
+    /// addition, covariance, Wasserstein, …) but the pruning mask dropped
+    /// it, or the transform has no constant basis vector.
+    DcUnavailable,
+    /// The block shape is invalid (wrong dimensionality, zero or
+    /// non-power-of-two extent).
+    InvalidBlockShape(String),
+    /// A pruning mask kept zero coefficients.
+    EmptyMask,
+    /// The serialized stream is malformed or was produced with different
+    /// type parameters.
+    Deserialize(String),
+}
+
+impl fmt::Display for BlazError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlazError::ShapeMismatch { left, right } => {
+                write!(f, "shape mismatch: {left:?} vs {right:?}")
+            }
+            BlazError::SettingsMismatch => {
+                write!(f, "operands were compressed with different settings")
+            }
+            BlazError::DcUnavailable => write!(
+                f,
+                "operation requires the per-block DC coefficient, which is \
+                 pruned away or not defined for this transform"
+            ),
+            BlazError::InvalidBlockShape(msg) => write!(f, "invalid block shape: {msg}"),
+            BlazError::EmptyMask => write!(f, "pruning mask keeps no coefficients"),
+            BlazError::Deserialize(msg) => write!(f, "deserialization failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BlazError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = BlazError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![4],
+        };
+        assert!(e.to_string().contains("[2, 3]"));
+        assert!(BlazError::DcUnavailable.to_string().contains("DC"));
+        assert!(BlazError::Deserialize("bad tag".into())
+            .to_string()
+            .contains("bad tag"));
+    }
+}

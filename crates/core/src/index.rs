@@ -1,0 +1,233 @@
+//! Bin index types (paper §III-A(d)).
+//!
+//! Binned coefficients are stored as signed integers of a user-chosen
+//! width. The *index type radius* is `r = 2^(b−1) − 1`, giving `2r + 1`
+//! bins centered at zero; wider types mean finer coefficient rounding at
+//! the cost of compression ratio.
+
+/// Runtime tag for the bin index width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IndexType {
+    /// 8-bit indices (radius 127).
+    I8,
+    /// 16-bit indices (radius 32767).
+    I16,
+    /// 32-bit indices.
+    I32,
+    /// 64-bit indices.
+    I64,
+}
+
+impl IndexType {
+    /// All variants in serialization-tag order.
+    pub const ALL: [IndexType; 4] = [IndexType::I8, IndexType::I16, IndexType::I32, IndexType::I64];
+
+    /// Width in bits (the `i` of §IV-C's accounting).
+    pub fn bits(self) -> u32 {
+        match self {
+            IndexType::I8 => 8,
+            IndexType::I16 => 16,
+            IndexType::I32 => 32,
+            IndexType::I64 => 64,
+        }
+    }
+
+    /// The index type radius `r = 2^(b−1) − 1`.
+    pub fn radius(self) -> i64 {
+        match self {
+            IndexType::I8 => i8::MAX as i64,
+            IndexType::I16 => i16::MAX as i64,
+            IndexType::I32 => i32::MAX as i64,
+            IndexType::I64 => i64::MAX,
+        }
+    }
+
+    /// Name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexType::I8 => "int8",
+            IndexType::I16 => "int16",
+            IndexType::I32 => "int32",
+            IndexType::I64 => "int64",
+        }
+    }
+
+    /// 2-bit serialization tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            IndexType::I8 => 0,
+            IndexType::I16 => 1,
+            IndexType::I32 => 2,
+            IndexType::I64 => 3,
+        }
+    }
+
+    /// Inverse of [`IndexType::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(IndexType::I8),
+            1 => Some(IndexType::I16),
+            2 => Some(IndexType::I32),
+            3 => Some(IndexType::I64),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for IndexType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A signed integer type usable as a bin index.
+pub trait BinIndex: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
+    /// The runtime tag for this width.
+    const TYPE: IndexType;
+    /// Width in bits.
+    const BITS: u32;
+
+    /// The radius `r` as `i64`.
+    fn radius_i64() -> i64 {
+        Self::TYPE.radius()
+    }
+
+    /// The radius `r` as `f64` (lossy for i64, which is unavoidable — the
+    /// binning arithmetic is floating point).
+    fn radius_f64() -> f64 {
+        Self::TYPE.radius() as f64
+    }
+
+    /// Converts from a clamped `i64` (callers guarantee `|v| ≤ r`).
+    fn from_i64(v: i64) -> Self;
+
+    /// Widens to `i64`.
+    fn to_i64(self) -> i64;
+
+    /// Bins a ratio `q = c / N ∈ [−1, 1]` (possibly slightly outside from
+    /// rounding, possibly NaN) into an index in `[−r, r]`.
+    fn bin(q: f64) -> Self {
+        if q.is_nan() {
+            return Self::from_i64(0);
+        }
+        let r = Self::radius_f64();
+        let v = (q * r).round().clamp(-r, r);
+        // `as` saturates; the integer clamp keeps the i64 radius edge case
+        // (where `r as f64` rounds up to 2^63) inside [−r, r].
+        let ri = Self::radius_i64();
+        Self::from_i64((v as i64).clamp(-ri, ri))
+    }
+
+    /// The reconstruction ratio `q = F / r ∈ [−1, 1]`.
+    fn unbin(self) -> f64 {
+        self.to_i64() as f64 / Self::radius_f64()
+    }
+}
+
+impl BinIndex for i8 {
+    const TYPE: IndexType = IndexType::I8;
+    const BITS: u32 = 8;
+    fn from_i64(v: i64) -> Self {
+        v as i8
+    }
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+}
+
+impl BinIndex for i16 {
+    const TYPE: IndexType = IndexType::I16;
+    const BITS: u32 = 16;
+    fn from_i64(v: i64) -> Self {
+        v as i16
+    }
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+}
+
+impl BinIndex for i32 {
+    const TYPE: IndexType = IndexType::I32;
+    const BITS: u32 = 32;
+    fn from_i64(v: i64) -> Self {
+        v as i32
+    }
+    fn to_i64(self) -> i64 {
+        self as i64
+    }
+}
+
+impl BinIndex for i64 {
+    const TYPE: IndexType = IndexType::I64;
+    const BITS: u32 = 64;
+    fn from_i64(v: i64) -> Self {
+        v
+    }
+    fn to_i64(self) -> i64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radius_values() {
+        assert_eq!(IndexType::I8.radius(), 127);
+        assert_eq!(IndexType::I16.radius(), 32767);
+        assert_eq!(IndexType::I32.radius(), 2_147_483_647);
+        assert_eq!(IndexType::I64.radius(), i64::MAX);
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for t in IndexType::ALL {
+            assert_eq!(IndexType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(IndexType::from_tag(7), None);
+    }
+
+    #[test]
+    fn bin_endpoints_and_center() {
+        assert_eq!(<i8 as BinIndex>::bin(1.0), 127);
+        assert_eq!(<i8 as BinIndex>::bin(-1.0), -127);
+        assert_eq!(<i8 as BinIndex>::bin(0.0), 0);
+        // Slightly out of range (rounding slop) clamps instead of wrapping.
+        assert_eq!(<i8 as BinIndex>::bin(1.2), 127);
+        assert_eq!(<i8 as BinIndex>::bin(-55.0), -127);
+    }
+
+    #[test]
+    fn bin_nan_is_zero() {
+        assert_eq!(<i16 as BinIndex>::bin(f64::NAN), 0);
+    }
+
+    #[test]
+    fn bin_unbin_error_is_within_half_bin() {
+        for t in 0..200 {
+            let q = -1.0 + t as f64 / 100.0;
+            for err in [
+                (<i8 as BinIndex>::bin(q).unbin() - q).abs() * 127.0,
+                (<i16 as BinIndex>::bin(q).unbin() - q).abs() * 32767.0,
+            ] {
+                assert!(err <= 0.5 + 1e-9, "q={q} err(in bins)={err}");
+            }
+        }
+    }
+
+    #[test]
+    fn i16_is_finer_than_i8() {
+        let q = 0.123456;
+        let e8 = (<i8 as BinIndex>::bin(q).unbin() - q).abs();
+        let e16 = (<i16 as BinIndex>::bin(q).unbin() - q).abs();
+        assert!(e16 < e8);
+    }
+
+    #[test]
+    fn i64_bins_do_not_overflow() {
+        let v = <i64 as BinIndex>::bin(1.0);
+        assert!(v > 0);
+        assert_eq!(<i64 as BinIndex>::bin(-1.0), -v);
+    }
+}

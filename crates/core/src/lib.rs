@@ -1,0 +1,80 @@
+//! # blazr — compressed-array computation
+//!
+//! A Rust implementation of the PyBlaz compressor from *"What Operations
+//! can be Performed Directly on Compressed Arrays, and with What Error?"*
+//! (SC 2023 workshops / arXiv:2406.11209): a lossy block-transform
+//! compressor for arbitrary-dimensional floating-point arrays that supports
+//! a dozen operations **directly on the compressed representation** —
+//! without decompressing.
+//!
+//! ## Pipeline (paper §III-A)
+//!
+//! 1. **Data type conversion** — inputs are rounded into the chosen
+//!    precision `P` ∈ {bf16, f16, f32, f64} ([`blazr_precision`]).
+//! 2. **Blocking** — zero-pad and partition into power-of-two blocks
+//!    ([`blazr_tensor::blocking`]).
+//! 3. **Orthonormal transform** — per-block separable DCT-II (or Haar)
+//!    ([`blazr_transform`]).
+//! 4. **Binning** — per-block scalar quantization of coefficients into
+//!    `2r+1` bins indexed by an integer type `I` ∈ {i8, i16, i32, i64}.
+//! 5. **Pruning** — a boolean mask selects which coefficient positions
+//!    are stored.
+//!
+//! The compressed form is `{s, i, N, F}`: original shape, block shape,
+//! per-block biggest coefficient, and flattened bin indices, plus the mask
+//! (paper §III-B). [`serialize`] provides the exact bit layout of §IV-C.
+//!
+//! ## Compressed-space operations (paper §IV, Table I)
+//!
+//! [`CompressedArray`] supports negation, element-wise addition, scalar
+//! addition, scalar multiplication, dot product, mean, covariance,
+//! variance, L2 norm, cosine similarity, SSIM, and the approximate
+//! Wasserstein distance — most with *no error beyond compression error*.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use blazr::{compress, Settings};
+//! use blazr_tensor::NdArray;
+//!
+//! let a = NdArray::from_fn(vec![32, 32], |i| (i[0] + i[1]) as f64 / 64.0);
+//! let b = NdArray::from_fn(vec![32, 32], |i| (i[0] * i[1]) as f64 / 1024.0);
+//! let settings = Settings::new(vec![8, 8]).unwrap();
+//!
+//! let ca = compress::<f32, i16>(&a, &settings).unwrap();
+//! let cb = compress::<f32, i16>(&b, &settings).unwrap();
+//!
+//! // Operate without decompressing:
+//! let mean = ca.mean().unwrap();
+//! let dot = ca.dot(&cb).unwrap();
+//! let diff_norm = ca.sub(&cb).unwrap().l2_norm();
+//! # let _ = (mean, dot, diff_norm);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+mod compressed;
+mod error;
+mod index;
+mod mask;
+mod settings;
+
+pub mod dynamic;
+pub mod ops;
+pub mod ratio;
+pub mod report;
+pub mod serialize;
+pub mod series;
+pub mod tune;
+
+pub use codec::{compress, compress_values, compress_with_report};
+pub use compressed::CompressedArray;
+pub use error::BlazError;
+pub use index::{BinIndex, IndexType};
+pub use mask::PruningMask;
+pub use settings::Settings;
+
+// Re-export the pieces callers need to use the API comfortably.
+pub use blazr_precision::{Dual, Real, ScalarType, StorableReal, BF16, F16};
+pub use blazr_transform::TransformKind;

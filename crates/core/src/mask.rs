@@ -1,0 +1,247 @@
+//! Pruning masks (paper §III-A(e)).
+//!
+//! A pruning mask `P` is a boolean array shaped like one block; positions
+//! marked `true` are kept in the compressed representation, the rest are
+//! rounded to zero. The mask is part of the compressed form (it is needed
+//! to unflatten `F`), and its population count `ΣP` is the dominant term
+//! of the compression-ratio formula in §IV-C.
+
+use crate::BlazError;
+use blazr_tensor::shape::{advance, num_elements, ravel};
+
+/// Which coefficient positions of each block survive pruning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PruningMask {
+    shape: Vec<usize>,
+    keep: Vec<bool>,
+    kept_positions: Vec<usize>,
+}
+
+impl PruningMask {
+    /// Keeps every coefficient (no pruning).
+    pub fn all(block_shape: &[usize]) -> Self {
+        let n = num_elements(block_shape);
+        Self::from_keep(block_shape.to_vec(), vec![true; n]).expect("all-true mask is valid")
+    }
+
+    /// Builds a mask from an explicit boolean array (row-major over the
+    /// block shape). Fails if no position is kept.
+    pub fn from_keep(block_shape: Vec<usize>, keep: Vec<bool>) -> Result<Self, BlazError> {
+        assert_eq!(
+            keep.len(),
+            num_elements(&block_shape),
+            "mask length must match block shape"
+        );
+        let kept_positions: Vec<usize> = (0..keep.len()).filter(|&i| keep[i]).collect();
+        if kept_positions.is_empty() {
+            return Err(BlazError::EmptyMask);
+        }
+        Ok(Self {
+            shape: block_shape,
+            keep,
+            kept_positions,
+        })
+    }
+
+    /// Keeps only the low-frequency box of extents `kept_extents` (e.g.
+    /// keep the 2×2×2 lowest-frequency corner of an 8×8×8 block).
+    pub fn keep_low_frequency_box(
+        block_shape: &[usize],
+        kept_extents: &[usize],
+    ) -> Result<Self, BlazError> {
+        assert_eq!(block_shape.len(), kept_extents.len());
+        for (k, (&b, &e)) in block_shape.iter().zip(kept_extents).enumerate() {
+            if e > b {
+                return Err(BlazError::InvalidBlockShape(format!(
+                    "kept extent {e} exceeds block extent {b} in dimension {k}"
+                )));
+            }
+        }
+        let n = num_elements(block_shape);
+        let mut keep = vec![false; n];
+        if n > 0 {
+            let mut idx = vec![0usize; block_shape.len()];
+            loop {
+                if idx.iter().zip(kept_extents).all(|(&i, &e)| i < e) {
+                    keep[ravel(&idx, block_shape)] = true;
+                }
+                if !advance(&mut idx, block_shape) {
+                    break;
+                }
+            }
+        }
+        Self::from_keep(block_shape.to_vec(), keep)
+    }
+
+    /// Drops the high-frequency corner box of extents `corner_extents`
+    /// (Blaz prunes the 6×6 high-index corner of its 8×8 blocks this way).
+    pub fn drop_high_frequency_corner(
+        block_shape: &[usize],
+        corner_extents: &[usize],
+    ) -> Result<Self, BlazError> {
+        assert_eq!(block_shape.len(), corner_extents.len());
+        let n = num_elements(block_shape);
+        let mut keep = vec![true; n];
+        if n > 0 {
+            let mut idx = vec![0usize; block_shape.len()];
+            loop {
+                let in_corner = idx
+                    .iter()
+                    .zip(block_shape.iter().zip(corner_extents))
+                    .all(|(&i, (&b, &c))| c <= b && i >= b - c);
+                if in_corner {
+                    keep[ravel(&idx, block_shape)] = false;
+                }
+                if !advance(&mut idx, block_shape) {
+                    break;
+                }
+            }
+        }
+        Self::from_keep(block_shape.to_vec(), keep)
+    }
+
+    /// Keeps the `count` positions with the lowest total frequency (sum of
+    /// coordinates, ties broken row-major) — a sequency-style mask.
+    pub fn keep_lowest_frequencies(
+        block_shape: &[usize],
+        count: usize,
+    ) -> Result<Self, BlazError> {
+        let n = num_elements(block_shape);
+        let count = count.min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        let sums: Vec<usize> = {
+            let mut sums = Vec::with_capacity(n);
+            let mut idx = vec![0usize; block_shape.len()];
+            for _ in 0..n {
+                sums.push(idx.iter().sum());
+                advance(&mut idx, block_shape);
+            }
+            sums
+        };
+        order.sort_by_key(|&i| (sums[i], i));
+        let mut keep = vec![false; n];
+        for &i in order.iter().take(count) {
+            keep[i] = true;
+        }
+        Self::from_keep(block_shape.to_vec(), keep)
+    }
+
+    /// The mask's block shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of kept positions `ΣP`.
+    pub fn kept_count(&self) -> usize {
+        self.kept_positions.len()
+    }
+
+    /// Flat (row-major) positions that are kept, ascending.
+    pub fn kept_positions(&self) -> &[usize] {
+        &self.kept_positions
+    }
+
+    /// The raw boolean mask, row-major.
+    pub fn as_bools(&self) -> &[bool] {
+        &self.keep
+    }
+
+    /// Whether flat position `i` is kept.
+    pub fn is_kept(&self, i: usize) -> bool {
+        self.keep[i]
+    }
+
+    /// Whether the DC position (all-zero multi-index, flat 0) is kept —
+    /// required by mean, scalar addition, covariance, variance, SSIM, and
+    /// the approximate Wasserstein distance.
+    pub fn dc_kept(&self) -> bool {
+        self.keep.first().copied().unwrap_or(false)
+    }
+
+    /// Position of the DC coefficient inside the *kept* (flattened)
+    /// sequence, if kept. Always 0 when present because kept positions are
+    /// ascending, but exposed for clarity.
+    pub fn dc_kept_slot(&self) -> Option<usize> {
+        if self.dc_kept() {
+            Some(0)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_keeps_everything() {
+        let m = PruningMask::all(&[4, 4]);
+        assert_eq!(m.kept_count(), 16);
+        assert!(m.dc_kept());
+        assert_eq!(m.kept_positions().len(), 16);
+    }
+
+    #[test]
+    fn empty_mask_is_rejected() {
+        let e = PruningMask::from_keep(vec![2, 2], vec![false; 4]);
+        assert_eq!(e.unwrap_err(), BlazError::EmptyMask);
+    }
+
+    #[test]
+    fn low_frequency_box() {
+        let m = PruningMask::keep_low_frequency_box(&[4, 4], &[2, 2]).unwrap();
+        assert_eq!(m.kept_count(), 4);
+        assert!(m.is_kept(0)); // (0,0)
+        assert!(m.is_kept(1)); // (0,1)
+        assert!(m.is_kept(4)); // (1,0)
+        assert!(m.is_kept(5)); // (1,1)
+        assert!(!m.is_kept(2));
+        assert!(m.dc_kept());
+    }
+
+    #[test]
+    fn blaz_style_corner_drop() {
+        // 8×8 block, drop 6×6 high corner → keep 64−36 = 28 (Blaz §II-A(c)).
+        let m = PruningMask::drop_high_frequency_corner(&[8, 8], &[6, 6]).unwrap();
+        assert_eq!(m.kept_count(), 28);
+        assert!(m.dc_kept());
+        // Position (2,2) is the first dropped corner element.
+        assert!(!m.is_kept(2 * 8 + 2));
+        assert!(m.is_kept(8 + 7)); // row 1 fully kept
+    }
+
+    #[test]
+    fn lowest_frequency_selection() {
+        let m = PruningMask::keep_lowest_frequencies(&[4, 4], 3).unwrap();
+        assert_eq!(m.kept_count(), 3);
+        // Sum-0: (0,0); sum-1: (0,1) then (1,0) in row-major tie order.
+        assert!(m.is_kept(0));
+        assert!(m.is_kept(1));
+        assert!(m.is_kept(4));
+    }
+
+    #[test]
+    fn keep_half_matches_paper_ratio_example() {
+        // §IV-C: "pruning half the indices" of a 4×4×4 block keeps 32.
+        let m = PruningMask::keep_lowest_frequencies(&[4, 4, 4], 32).unwrap();
+        assert_eq!(m.kept_count(), 32);
+    }
+
+    #[test]
+    fn dc_can_be_pruned_and_detected() {
+        let mut keep = vec![true; 16];
+        keep[0] = false;
+        let m = PruningMask::from_keep(vec![4, 4], keep).unwrap();
+        assert!(!m.dc_kept());
+        assert_eq!(m.dc_kept_slot(), None);
+        assert_eq!(m.kept_count(), 15);
+    }
+
+    #[test]
+    fn kept_positions_are_sorted_ascending() {
+        let m = PruningMask::drop_high_frequency_corner(&[4, 4], &[2, 2]).unwrap();
+        let pos = m.kept_positions();
+        assert!(pos.windows(2).all(|w| w[0] < w[1]));
+    }
+}

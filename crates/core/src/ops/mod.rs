@@ -1,0 +1,36 @@
+//! The compressed-space operations of paper §IV (Table I).
+//!
+//! All operations work on the `{s, i, N, F}` representation without
+//! decompressing. Two properties make this possible (§IV-A):
+//!
+//! 1. Each block of `F` is proportional to its block of transform
+//!    coefficients — scaling `F` by `N` recovers the specified
+//!    coefficients (Algorithm 3).
+//! 2. The transform is orthonormal, so dot products (and everything
+//!    derived from them: norms, variances, similarities) are identical in
+//!    coefficient space.
+//!
+//! | Operation | Result | Source of error |
+//! |---|---|---|
+//! | [negation](crate::CompressedArray::negate) | array | none |
+//! | [element-wise addition](crate::CompressedArray::add) | array | rebinning |
+//! | [scalar addition](crate::CompressedArray::add_scalar) | array | rebinning |
+//! | [scalar multiplication](crate::CompressedArray::mul_scalar) | array | none |
+//! | [dot product](crate::CompressedArray::dot) | scalar | none |
+//! | [mean](crate::CompressedArray::mean) | scalar | none |
+//! | [covariance](crate::CompressedArray::covariance) | scalar | none |
+//! | [variance](crate::CompressedArray::variance) | scalar | none |
+//! | [L2 norm](crate::CompressedArray::l2_norm) | scalar | none |
+//! | [cosine similarity](crate::CompressedArray::cosine_similarity) | scalar | none |
+//! | [SSIM](crate::CompressedArray::ssim) | scalar | none |
+//! | [approx. Wasserstein](crate::CompressedArray::wasserstein) | scalar | block-size-dependent |
+//!
+//! "None" means no error beyond what compression already introduced.
+
+mod arithmetic;
+mod moments;
+mod reductions;
+mod similarity;
+mod wasserstein;
+
+pub use similarity::SsimParams;

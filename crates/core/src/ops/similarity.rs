@@ -1,0 +1,114 @@
+//! Structural similarity (Algorithm 12).
+
+use crate::{BinIndex, BlazError, CompressedArray};
+use blazr_precision::Real;
+
+pub use blazr_tensor::reduce::SsimParams;
+
+impl<P: Real, I: BinIndex> CompressedArray<P, I> {
+    /// SSIM (Algorithm 12): luminance, contrast, and structure terms from
+    /// the compressed-space mean, variance, and covariance, combined with
+    /// the configured stabilizers and weights.
+    pub fn ssim(&self, other: &Self, p: &SsimParams) -> Result<P, BlazError> {
+        let mu_a = self.mean()?;
+        let mu_b = other.mean()?;
+        let var_a = self.variance()?;
+        let var_b = other.variance()?;
+        let sd_a = var_a.sqrt();
+        let sd_b = var_b.sqrt();
+        let cov = self.covariance(other)?;
+
+        let two = P::from_f64(2.0);
+        let sl = P::from_f64(p.luminance_stabilizer);
+        let sc = P::from_f64(p.contrast_stabilizer);
+        let half_sc = P::from_f64(p.contrast_stabilizer / 2.0);
+
+        let l = (two * mu_a * mu_b + sl) / (mu_a * mu_a + mu_b * mu_b + sl);
+        let c = (two * sd_a * sd_b + sc) / (var_a + var_b + sc);
+        let s = (cov + half_sc) / (sd_a * sd_b + half_sc);
+
+        // Weighted product. The paper's experiments use unit weights; we
+        // honor arbitrary weights through f64 powf, rounding back into P.
+        let result = if p.luminance_weight == 1.0
+            && p.contrast_weight == 1.0
+            && p.structure_weight == 1.0
+        {
+            l * c * s
+        } else {
+            P::from_f64(
+                l.to_f64().powf(p.luminance_weight)
+                    * c.to_f64().powf(p.contrast_weight)
+                    * s.to_f64().powf(p.structure_weight),
+            )
+        };
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::SsimParams;
+    use crate::{compress, Settings};
+    use blazr_tensor::reduce;
+    use blazr_tensor::NdArray;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn random_unit_array(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        NdArray::from_fn(shape, |_| rng.uniform())
+    }
+
+    fn settings() -> Settings {
+        Settings::new(vec![4, 4]).unwrap()
+    }
+
+    #[test]
+    fn ssim_self_is_one() {
+        let a = random_unit_array(vec![16, 16], 1);
+        let c = compress::<f64, i16>(&a, &settings()).unwrap();
+        let s = c.ssim(&c, &SsimParams::default()).unwrap();
+        assert!((s - 1.0).abs() < 1e-9, "got {s}");
+    }
+
+    #[test]
+    fn ssim_matches_reference() {
+        let a = random_unit_array(vec![16, 16], 2);
+        let b = random_unit_array(vec![16, 16], 3);
+        let ca = compress::<f64, i16>(&a, &settings()).unwrap();
+        let cb = compress::<f64, i16>(&b, &settings()).unwrap();
+        let got = ca.ssim(&cb, &SsimParams::default()).unwrap();
+        let expect = reduce::ssim(&a, &b, &SsimParams::default());
+        assert!((got - expect).abs() < 5e-3, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn ssim_orders_similarity() {
+        let a = random_unit_array(vec![16, 16], 4);
+        // Near-identical: tiny perturbation.
+        let near = a.add_scalar(0.001);
+        // Unrelated noise.
+        let far = random_unit_array(vec![16, 16], 5);
+        let ca = compress::<f64, i16>(&a, &settings()).unwrap();
+        let cn = compress::<f64, i16>(&near, &settings()).unwrap();
+        let cf = compress::<f64, i16>(&far, &settings()).unwrap();
+        let p = SsimParams::default();
+        let s_near = ca.ssim(&cn, &p).unwrap();
+        let s_far = ca.ssim(&cf, &p).unwrap();
+        assert!(s_near > 0.99, "near {s_near}");
+        assert!(s_near > s_far, "near {s_near} far {s_far}");
+    }
+
+    #[test]
+    fn weighted_ssim_path() {
+        let a = random_unit_array(vec![16, 16], 6);
+        let b = random_unit_array(vec![16, 16], 7);
+        let ca = compress::<f64, i16>(&a, &settings()).unwrap();
+        let cb = compress::<f64, i16>(&b, &settings()).unwrap();
+        let mut p = SsimParams::default();
+        p.structure_weight = 2.0;
+        let got = ca.ssim(&cb, &p).unwrap();
+        let unit = ca.ssim(&cb, &SsimParams::default()).unwrap();
+        assert_ne!(got, unit);
+        assert!(got.is_finite());
+    }
+}

@@ -1,0 +1,82 @@
+//! Compression-error accounting (paper §IV-D).
+//!
+//! Binning contributes at most half a bin width per coefficient
+//! (`N_k/(2r)` in our convention; the paper's 2r+1-bin phrasing gives
+//! `N_k/(2r+1)`); pruning contributes the full magnitude of each dropped
+//! coefficient. Because the transform is orthonormal, the L2 error of a
+//! decompressed block equals the L2 norm of its coefficient errors, and
+//! any single element's error is bounded by the sum of coefficient error
+//! magnitudes (basis entries have magnitude ≤ 1). The paper's looser
+//! per-block L∞ bound `‖C_k‖∞ · Πi` is also provided for comparison.
+
+/// Error measurements and bounds produced by
+/// [`crate::compress_with_report`].
+#[derive(Debug, Clone)]
+pub struct CompressionReport {
+    /// Actual L2 norm of coefficient errors per block (binning + pruning).
+    pub per_block_coeff_l2: Vec<f64>,
+    /// Actual largest coefficient error per block.
+    pub per_block_coeff_linf: Vec<f64>,
+    /// Half-bin binning bound per block, our convention: `N_k / (2r)`.
+    pub binning_bound_per_block: Vec<f64>,
+    /// The paper's binning bound per block: `N_k / (2r + 1)`.
+    pub paper_binning_bound_per_block: Vec<f64>,
+    /// The paper's loose per-block L∞ bound: `‖C_k‖∞ · Πi`.
+    pub paper_loose_linf_bound_per_block: Vec<f64>,
+    /// Σ|Δc| per block — a valid L∞ bound on any decompressed element of
+    /// that block, tighter than the paper's loose bound.
+    pub abs_sum_linf_bound_per_block: Vec<f64>,
+    /// L2 norm of all coefficient errors — equals the whole-array L2
+    /// decompression error (up to floating-point noise and padding).
+    pub total_coeff_l2: f64,
+    /// Largest element change introduced by step (a), the data type
+    /// conversion (excluded from the paper's coefficient-error analysis).
+    pub dtype_max_err: f64,
+}
+
+impl CompressionReport {
+    /// The largest per-block L2 coefficient error.
+    pub fn worst_block_l2(&self) -> f64 {
+        self.per_block_coeff_l2.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// A global L∞ bound on decompressed elements: the worst per-block
+    /// absolute-sum bound.
+    pub fn linf_bound(&self) -> f64 {
+        self.abs_sum_linf_bound_per_block
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's loose global L∞ bound (for comparison; typically orders
+    /// of magnitude above [`CompressionReport::linf_bound`]).
+    pub fn paper_loose_linf_bound(&self) -> f64 {
+        self.paper_loose_linf_bound_per_block
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates_take_maxima() {
+        let r = CompressionReport {
+            per_block_coeff_l2: vec![1.0, 3.0, 2.0],
+            per_block_coeff_linf: vec![0.1, 0.2, 0.3],
+            binning_bound_per_block: vec![0.5; 3],
+            paper_binning_bound_per_block: vec![0.5; 3],
+            paper_loose_linf_bound_per_block: vec![10.0, 40.0, 20.0],
+            abs_sum_linf_bound_per_block: vec![0.7, 0.9, 0.8],
+            total_coeff_l2: 3.74,
+            dtype_max_err: 0.0,
+        };
+        assert_eq!(r.worst_block_l2(), 3.0);
+        assert_eq!(r.linf_bound(), 0.9);
+        assert_eq!(r.paper_loose_linf_bound(), 40.0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Bit-exact serialization of the compressed form (paper §IV-C).
+//!
+//! Layout, in order:
+//!
+//! | field | bits |
+//! |---|---|
+//! | float type tag | 2 |
+//! | index type tag | 2 |
+//! | transform tag (our extension; see DESIGN.md) | 4 |
+//! | each extent of `s` | 64 |
+//! | end-of-shape marker (all ones) | 64 |
+//! | each extent of `i` | 64 |
+//! | pruning mask `P`, row-major | `Πi` × 1 |
+//! | biggest coefficients `N`, block-major | `f` each |
+//! | bin indices `F`, block-major, kept slots in ascending position | `i` each |
+//!
+//! The stream's bit count is exactly [`crate::ratio::serialized_bits`],
+//! which is what makes the §IV-C compression-ratio formula testable
+//! against real bytes.
+
+use crate::{BinIndex, BlazError, CompressedArray, PruningMask, Settings};
+use blazr_precision::StorableReal;
+use blazr_tensor::shape::{ceil_div, num_elements};
+use blazr_transform::TransformKind;
+use blazr_util::bits::{BitReader, BitWriter};
+
+/// Sentinel terminating the shape list. Valid extents are far smaller.
+const SHAPE_END: u64 = u64::MAX;
+
+impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
+    /// Serializes to bytes using the §IV-C layout.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.write_bits(P::TYPE.tag() as u64, 2);
+        w.write_bits(I::TYPE.tag() as u64, 2);
+        w.write_bits(self.settings.transform.tag() as u64, 4);
+        for &e in &self.shape {
+            w.write_bits(e as u64, 64);
+        }
+        w.write_bits(SHAPE_END, 64);
+        for &e in &self.settings.block_shape {
+            w.write_bits(e as u64, 64);
+        }
+        for &b in self.settings.mask.as_bools() {
+            w.write_bit(b);
+        }
+        for &n in &self.biggest {
+            w.write_bits(n.to_bits_u64(), P::BITS);
+        }
+        let mask = if I::BITS == 64 {
+            u64::MAX
+        } else {
+            (1u64 << I::BITS) - 1
+        };
+        for &f in &self.indices {
+            w.write_bits(f.to_i64() as u64 & mask, I::BITS);
+        }
+        debug_assert_eq!(
+            w.bit_len() as u64,
+            crate::ratio::serialized_bits(
+                &self.shape,
+                &self.settings.block_shape,
+                P::BITS,
+                I::BITS,
+                self.kept_per_block(),
+            ),
+            "serializer and §IV-C accounting must agree"
+        );
+        w.into_bytes()
+    }
+
+    /// Deserializes from bytes. Fails if the stream's type tags do not
+    /// match `P` and `I`, or the stream is malformed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BlazError> {
+        let mut r = BitReader::new(bytes);
+        let bad = |msg: &str| BlazError::Deserialize(msg.to_string());
+        let ftag = r.read_bits(2).ok_or_else(|| bad("truncated float tag"))? as u8;
+        let itag = r.read_bits(2).ok_or_else(|| bad("truncated index tag"))? as u8;
+        if ftag != P::TYPE.tag() {
+            return Err(bad(&format!(
+                "float type tag {ftag} does not match requested {}",
+                P::TYPE
+            )));
+        }
+        if itag != I::TYPE.tag() {
+            return Err(bad(&format!(
+                "index type tag {itag} does not match requested {}",
+                I::TYPE
+            )));
+        }
+        let ttag = r.read_bits(4).ok_or_else(|| bad("truncated transform tag"))? as u8;
+        let transform =
+            TransformKind::from_tag(ttag).ok_or_else(|| bad("unknown transform tag"))?;
+
+        let mut shape = Vec::new();
+        loop {
+            let v = r.read_u64().ok_or_else(|| bad("truncated shape"))?;
+            if v == SHAPE_END {
+                break;
+            }
+            if shape.len() > 64 {
+                return Err(bad("shape list too long (missing end marker?)"));
+            }
+            if v > (1 << 48) {
+                return Err(bad("implausible shape extent"));
+            }
+            shape.push(v as usize);
+        }
+        if blazr_tensor::shape::checked_num_elements(&shape)
+            .filter(|&n| n <= (1usize << 48))
+            .is_none()
+        {
+            return Err(bad("implausible total element count"));
+        }
+        let d = shape.len();
+        let mut block_shape = Vec::with_capacity(d);
+        for _ in 0..d {
+            let v = r.read_u64().ok_or_else(|| bad("truncated block shape"))? as usize;
+            if v == 0 || v > (1 << 30) {
+                return Err(bad("implausible block extent"));
+            }
+            block_shape.push(v);
+        }
+        let block_len = blazr_tensor::shape::checked_num_elements(&block_shape)
+            .ok_or_else(|| bad("block shape overflows"))?;
+        if block_len == 0 || block_len > (1 << 30) {
+            return Err(bad("implausible block shape"));
+        }
+        let mut keep = Vec::with_capacity(block_len);
+        for _ in 0..block_len {
+            keep.push(r.read_bit().ok_or_else(|| bad("truncated mask"))?);
+        }
+        let mask = PruningMask::from_keep(block_shape.clone(), keep)
+            .map_err(|_| bad("mask keeps no coefficients"))?;
+        let settings = Settings::new(block_shape)
+            .map_err(|e| bad(&format!("invalid block shape: {e}")))?
+            .with_transform(transform)
+            .with_mask(mask)
+            .map_err(|e| bad(&format!("mask/shape mismatch: {e}")))?;
+
+        let n_blocks = num_elements(&ceil_div(&shape, &settings.block_shape));
+        // Before allocating, confirm the stream actually holds the payload
+        // the header claims.
+        let kept_count = settings.mask.kept_count() as u64;
+        let payload_bits = (P::BITS as u64 + I::BITS as u64 * kept_count)
+            .checked_mul(n_blocks as u64)
+            .ok_or_else(|| bad("payload size overflows"))?;
+        if (r.remaining() as u64) < payload_bits {
+            return Err(bad("stream shorter than its header claims"));
+        }
+        let mut biggest = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let bits = r
+                .read_bits(P::BITS)
+                .ok_or_else(|| bad("truncated biggest coefficients"))?;
+            biggest.push(P::from_bits_u64(bits));
+        }
+        let kept = settings.mask.kept_count();
+        let mut indices = Vec::with_capacity(n_blocks * kept);
+        for _ in 0..n_blocks * kept {
+            let raw = r.read_bits(I::BITS).ok_or_else(|| bad("truncated indices"))?;
+            // Sign-extend from I::BITS.
+            let shifted = (raw as i64) << (64 - I::BITS);
+            indices.push(I::from_i64(shifted >> (64 - I::BITS)));
+        }
+        Ok(Self {
+            shape,
+            settings,
+            biggest,
+            indices,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{compress, CompressedArray, PruningMask, Settings};
+    use blazr_precision::{BF16, F16};
+    use blazr_tensor::NdArray;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn random_array(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        NdArray::from_fn(shape, |_| rng.uniform_in(-2.0, 2.0))
+    }
+
+    #[test]
+    fn roundtrip_f32_i16() {
+        let a = random_array(vec![12, 20], 1);
+        let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+        let bytes = c.to_bytes();
+        let back = CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn roundtrip_all_type_combinations() {
+        let a = random_array(vec![9, 10], 2);
+        let s = Settings::new(vec![4, 4]).unwrap();
+        macro_rules! rt {
+            ($p:ty, $i:ty) => {{
+                let c = compress::<$p, $i>(&a, &s).unwrap();
+                let back = CompressedArray::<$p, $i>::from_bytes(&c.to_bytes()).unwrap();
+                assert_eq!(back, c);
+            }};
+        }
+        rt!(f64, i8);
+        rt!(f64, i64);
+        rt!(f32, i32);
+        rt!(F16, i8);
+        rt!(F16, i16);
+        rt!(BF16, i16);
+        rt!(BF16, i32);
+    }
+
+    #[test]
+    fn serialized_size_matches_formula() {
+        let a = random_array(vec![30, 50], 3);
+        let c = compress::<f32, i8>(&a, &Settings::new(vec![8, 8]).unwrap()).unwrap();
+        let bytes = c.to_bytes();
+        let bits = crate::ratio::serialized_bits(&[30, 50], &[8, 8], 32, 8, 64);
+        assert_eq!(bytes.len(), (bits as usize).div_ceil(8));
+    }
+
+    #[test]
+    fn pruned_roundtrip() {
+        let a = random_array(vec![16, 16], 4);
+        let s = Settings::new(vec![4, 4])
+            .unwrap()
+            .with_mask(PruningMask::keep_low_frequency_box(&[4, 4], &[2, 2]).unwrap())
+            .unwrap();
+        let c = compress::<f64, i16>(&a, &s).unwrap();
+        let back = CompressedArray::<f64, i16>::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+        // And the decompressed output is identical too.
+        assert_eq!(back.decompress().as_slice(), c.decompress().as_slice());
+    }
+
+    #[test]
+    fn negative_indices_sign_extend() {
+        let a = random_array(vec![8, 8], 5).mul_scalar(-1.0);
+        let c = compress::<f64, i8>(&a, &Settings::new(vec![8, 8]).unwrap()).unwrap();
+        assert!(c.indices().iter().any(|&f| f < 0), "need negative indices");
+        let back = CompressedArray::<f64, i8>::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn wrong_type_params_rejected() {
+        let a = random_array(vec![8, 8], 6);
+        let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+        let bytes = c.to_bytes();
+        assert!(CompressedArray::<f64, i16>::from_bytes(&bytes).is_err());
+        assert!(CompressedArray::<f32, i8>::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let a = random_array(vec![8, 8], 7);
+        let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+        let bytes = c.to_bytes();
+        for cut in [1, 3, 8, bytes.len() / 2] {
+            assert!(
+                CompressedArray::<f32, i16>::from_bytes(&bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let garbage = vec![0xFFu8; 64];
+        assert!(CompressedArray::<f32, i16>::from_bytes(&garbage).is_err());
+    }
+
+    #[test]
+    fn three_dimensional_roundtrip() {
+        let a = random_array(vec![5, 6, 7], 8);
+        let s = Settings::new(vec![2, 4, 4]).unwrap();
+        let c = compress::<f32, i16>(&a, &s).unwrap();
+        let back = CompressedArray::<f32, i16>::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+    }
+}

@@ -1,0 +1,227 @@
+//! Compressed time series (the paper's §I use case as an API).
+//!
+//! "Keeping the time-sequences of evolving simulation results in
+//! compressed form" (§VI) and analyzing them — deviation detection between
+//! two runs, scission-style event detection within one run — without
+//! decompressing any snapshot. [`CompressedSeries`] is a thin, honest
+//! wrapper: it stores compressed arrays and exposes the adjacent-step and
+//! pairwise analyses the paper's three experiments perform.
+
+use crate::{BinIndex, BlazError, CompressedArray, Settings};
+use blazr_precision::{Real, StorableReal};
+use blazr_tensor::NdArray;
+
+/// A time-ordered sequence of compressed snapshots sharing one setting.
+#[derive(Debug, Clone)]
+pub struct CompressedSeries<P, I> {
+    settings: Settings,
+    labels: Vec<u64>,
+    frames: Vec<CompressedArray<P, I>>,
+}
+
+impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
+    /// An empty series that will compress every pushed frame with
+    /// `settings`.
+    pub fn new(settings: Settings) -> Self {
+        Self {
+            settings,
+            labels: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    /// Compresses and appends a snapshot with a caller-chosen label
+    /// (time step, wall-clock, …). Labels must be strictly increasing.
+    pub fn push(&mut self, label: u64, frame: &NdArray<f64>) -> Result<(), BlazError> {
+        if let Some(&last) = self.labels.last() {
+            if label <= last {
+                return Err(BlazError::Deserialize(format!(
+                    "labels must increase: {label} after {last}"
+                )));
+            }
+        }
+        let c = crate::compress::<P, I>(frame, &self.settings)?;
+        if let Some(first) = self.frames.first() {
+            first.check_compatible(&c)?;
+        }
+        self.labels.push(label);
+        self.frames.push(c);
+        Ok(())
+    }
+
+    /// Number of stored snapshots.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// True if no snapshots are stored.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// The labels, in order.
+    pub fn labels(&self) -> &[u64] {
+        &self.labels
+    }
+
+    /// Borrow of frame `i`.
+    pub fn frame(&self, i: usize) -> &CompressedArray<P, I> {
+        &self.frames[i]
+    }
+
+    /// L2 distance between adjacent snapshots: one entry per consecutive
+    /// pair `(label_i, label_{i+1}, ‖A_i − A_{i+1}‖₂)` — the Fig. 6(a)
+    /// analysis.
+    pub fn adjacent_l2(&self) -> Result<Vec<(u64, u64, f64)>, BlazError> {
+        let mut out = Vec::new();
+        for w in 0..self.frames.len().saturating_sub(1) {
+            let d = self.frames[w].sub(&self.frames[w + 1])?.l2_norm();
+            out.push((self.labels[w], self.labels[w + 1], d.to_f64()));
+        }
+        Ok(out)
+    }
+
+    /// Approximate Wasserstein distance between adjacent snapshots at
+    /// order `p` — the Fig. 6(b) analysis.
+    pub fn adjacent_wasserstein(&self, p: f64) -> Result<Vec<(u64, u64, f64)>, BlazError> {
+        let mut out = Vec::new();
+        for w in 0..self.frames.len().saturating_sub(1) {
+            let d = self.frames[w].wasserstein(&self.frames[w + 1], p)?;
+            out.push((self.labels[w], self.labels[w + 1], d));
+        }
+        Ok(out)
+    }
+
+    /// The adjacent pair with the largest L2 jump (event detection).
+    pub fn largest_jump(&self) -> Result<Option<(u64, u64, f64)>, BlazError> {
+        Ok(self
+            .adjacent_l2()?
+            .into_iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances")))
+    }
+
+    /// First label at which this series deviates from `other` by more
+    /// than `threshold` in relative L2 (`‖A−B‖/‖A‖`) — the §I "two
+    /// movies" divergence query. Series must share labels and settings.
+    pub fn first_divergence(
+        &self,
+        other: &Self,
+        threshold: f64,
+    ) -> Result<Option<u64>, BlazError> {
+        if self.labels != other.labels {
+            return Err(BlazError::SettingsMismatch);
+        }
+        for (i, &label) in self.labels.iter().enumerate() {
+            let diff = self.frames[i].sub(&other.frames[i])?.l2_norm().to_f64();
+            let scale = self.frames[i].l2_norm().to_f64().max(f64::MIN_POSITIVE);
+            if diff / scale > threshold {
+                return Ok(Some(label));
+            }
+        }
+        Ok(None)
+    }
+}
+
+impl<P: StorableReal, I: BinIndex> CompressedSeries<P, I> {
+    /// Total compressed payload across all snapshots, in bytes.
+    pub fn payload_bytes(&self) -> u64 {
+        self.frames.iter().map(|f| f.payload_bits().div_ceil(8)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn frame(t: f64, jump: bool) -> NdArray<f64> {
+        NdArray::from_fn(vec![16, 16], |i| {
+            let base = ((i[0] as f64 + t) / 5.0).sin() * ((i[1] as f64) / 7.0).cos();
+            if jump && i[0] < 4 {
+                base + 3.0
+            } else {
+                base
+            }
+        })
+    }
+
+    fn series_with_event() -> CompressedSeries<f32, i16> {
+        let mut s = CompressedSeries::new(Settings::new(vec![4, 4]).unwrap());
+        for t in 0..10u64 {
+            s.push(t * 10, &frame(t as f64 * 0.1, t >= 7)).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn push_and_len() {
+        let s = series_with_event();
+        assert_eq!(s.len(), 10);
+        assert!(!s.is_empty());
+        assert_eq!(s.labels()[3], 30);
+    }
+
+    #[test]
+    fn labels_must_increase() {
+        let mut s = CompressedSeries::<f32, i16>::new(Settings::new(vec![4, 4]).unwrap());
+        s.push(5, &frame(0.0, false)).unwrap();
+        assert!(s.push(5, &frame(0.1, false)).is_err());
+        assert!(s.push(4, &frame(0.1, false)).is_err());
+        assert!(s.push(6, &frame(0.1, false)).is_ok());
+    }
+
+    #[test]
+    fn largest_jump_finds_the_event() {
+        let s = series_with_event();
+        let (t1, t2, d) = s.largest_jump().unwrap().unwrap();
+        // The jump turns on between labels 60 and 70.
+        assert_eq!((t1, t2), (60, 70));
+        assert!(d > 1.0);
+    }
+
+    #[test]
+    fn adjacent_metrics_have_right_lengths() {
+        let s = series_with_event();
+        assert_eq!(s.adjacent_l2().unwrap().len(), 9);
+        assert_eq!(s.adjacent_wasserstein(2.0).unwrap().len(), 9);
+    }
+
+    #[test]
+    fn divergence_between_two_movies() {
+        let settings = Settings::new(vec![4, 4]).unwrap();
+        let mut a = CompressedSeries::<f32, i16>::new(settings.clone());
+        let mut b = CompressedSeries::<f32, i16>::new(settings);
+        let mut rng = Xoshiro256pp::seed_from_u64(3);
+        for t in 0..8u64 {
+            let base = frame(t as f64 * 0.1, false);
+            // Movie b drifts after label 40.
+            let drift = rng.uniform_in(0.3, 0.4);
+            let drifted = if t >= 4 {
+                base.map(|x| x + drift)
+            } else {
+                base.clone()
+            };
+            a.push(t * 10, &base).unwrap();
+            b.push(t * 10, &drifted).unwrap();
+        }
+        let div = a.first_divergence(&b, 0.05).unwrap();
+        assert_eq!(div, Some(40));
+        // Identical series never diverge.
+        assert_eq!(a.first_divergence(&a, 0.05).unwrap(), None);
+    }
+
+    #[test]
+    fn mismatched_series_error() {
+        let s1 = series_with_event();
+        let mut s2 = CompressedSeries::<f32, i16>::new(Settings::new(vec![4, 4]).unwrap());
+        s2.push(0, &frame(0.0, false)).unwrap();
+        assert!(s1.first_divergence(&s2, 0.1).is_err());
+    }
+
+    #[test]
+    fn payload_accounting() {
+        let s = series_with_event();
+        let per_frame = s.frame(0).payload_bits().div_ceil(8);
+        assert_eq!(s.payload_bytes(), per_frame * 10);
+    }
+}

@@ -1,0 +1,157 @@
+//! Compression settings: block shape, transform, pruning mask.
+
+use crate::{BlazError, PruningMask};
+use blazr_tensor::shape::all_powers_of_two;
+use blazr_transform::TransformKind;
+
+/// The data-independent knobs of the compressor (paper §III).
+///
+/// The floating-point precision `P` and bin index type `I` are *type*
+/// parameters of [`crate::compress`]; everything else lives here. Two
+/// compressed arrays can only be combined in compressed space when their
+/// `Settings` are equal (and their type parameters match).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Settings {
+    /// Block shape `i`; every extent must be a power of two (§III-A(b)).
+    /// Non-hypercubic shapes are allowed and useful for anisotropic data.
+    pub block_shape: Vec<usize>,
+    /// Which orthonormal basis the transform step uses.
+    pub transform: TransformKind,
+    /// Which coefficient positions are kept.
+    pub mask: PruningMask,
+}
+
+impl Settings {
+    /// Settings with the given block shape, DCT transform, and no pruning.
+    pub fn new(block_shape: Vec<usize>) -> Result<Self, BlazError> {
+        validate_block_shape(&block_shape)?;
+        let mask = PruningMask::all(&block_shape);
+        Ok(Self {
+            block_shape,
+            transform: TransformKind::Dct,
+            mask,
+        })
+    }
+
+    /// Replaces the transform.
+    pub fn with_transform(mut self, transform: TransformKind) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// Replaces the pruning mask. The mask's shape must equal the block
+    /// shape.
+    pub fn with_mask(mut self, mask: PruningMask) -> Result<Self, BlazError> {
+        if mask.shape() != self.block_shape.as_slice() {
+            return Err(BlazError::InvalidBlockShape(format!(
+                "mask shape {:?} does not match block shape {:?}",
+                mask.shape(),
+                self.block_shape
+            )));
+        }
+        self.mask = mask;
+        Ok(self)
+    }
+
+    /// Checks this settings object against an input of dimensionality `d`.
+    pub fn validate_for_ndim(&self, d: usize) -> Result<(), BlazError> {
+        if self.block_shape.len() != d {
+            return Err(BlazError::InvalidBlockShape(format!(
+                "block shape has {} dimensions but the array has {d}",
+                self.block_shape.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Elements per block `Πi`.
+    pub fn block_len(&self) -> usize {
+        self.block_shape.iter().product()
+    }
+
+    /// `√(Πi)` — the scale between a block's mean and its DC coefficient
+    /// (the paper's `c = Π i^{1/2}`).
+    pub fn dc_scale(&self) -> f64 {
+        (self.block_len() as f64).sqrt()
+    }
+
+    /// Whether mean-style operations are possible: the transform has a
+    /// constant DC basis vector and the mask keeps it.
+    pub fn dc_available(&self) -> bool {
+        self.transform.has_dc_basis() && self.mask.dc_kept()
+    }
+}
+
+fn validate_block_shape(block_shape: &[usize]) -> Result<(), BlazError> {
+    if block_shape.contains(&0) {
+        return Err(BlazError::InvalidBlockShape(
+            "zero extent in block shape".into(),
+        ));
+    }
+    if !all_powers_of_two(block_shape) {
+        return Err(BlazError::InvalidBlockShape(format!(
+            "extents must be powers of two, got {block_shape:?}"
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_settings_are_dct_no_pruning() {
+        let s = Settings::new(vec![8, 8]).unwrap();
+        assert_eq!(s.transform, TransformKind::Dct);
+        assert_eq!(s.mask.kept_count(), 64);
+        assert_eq!(s.block_len(), 64);
+        assert!((s.dc_scale() - 8.0).abs() < 1e-12);
+        assert!(s.dc_available());
+    }
+
+    #[test]
+    fn non_power_of_two_rejected() {
+        assert!(matches!(
+            Settings::new(vec![6, 8]),
+            Err(BlazError::InvalidBlockShape(_))
+        ));
+        assert!(matches!(
+            Settings::new(vec![0]),
+            Err(BlazError::InvalidBlockShape(_))
+        ));
+    }
+
+    #[test]
+    fn non_hypercubic_allowed() {
+        let s = Settings::new(vec![4, 16, 16]).unwrap();
+        assert_eq!(s.block_len(), 1024);
+        assert!((s.dc_scale() - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mask_shape_must_match() {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let wrong = PruningMask::all(&[8, 8]);
+        assert!(s.with_mask(wrong).is_err());
+    }
+
+    #[test]
+    fn dc_availability_tracks_mask_and_transform() {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let mut keep = vec![true; 16];
+        keep[0] = false;
+        let no_dc = PruningMask::from_keep(vec![4, 4], keep).unwrap();
+        let s2 = s.clone().with_mask(no_dc).unwrap();
+        assert!(!s2.dc_available());
+        let s3 = s.with_transform(TransformKind::Identity);
+        assert!(!s3.dc_available());
+    }
+
+    #[test]
+    fn validate_ndim() {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        assert!(s.validate_for_ndim(2).is_ok());
+        assert!(s.validate_for_ndim(3).is_err());
+    }
+}

@@ -1,0 +1,283 @@
+//! Automatic compression-setting search (paper §VI, future work):
+//! "PyBlaz can be made to automatically change its compression settings in
+//! order to enforce some L∞ error bound through Bayesian optimization or a
+//! similar search process instead of relying on the user."
+//!
+//! [`tune_for_linf`] implements that search deterministically: it
+//! enumerates a candidate lattice of (float type × index type × block
+//! shape × pruning level), *ordered by theoretical compression ratio
+//! descending* (the ratio is data-independent, §IV-C, so the ordering is
+//! free), and measures the actual L∞ reconstruction error of each
+//! candidate on the provided sample until one meets the bound. Because
+//! candidates are tried best-ratio-first, the first hit is the
+//! highest-ratio setting in the lattice that satisfies the bound.
+
+use crate::dynamic::compress_dyn;
+use crate::{BlazError, IndexType, PruningMask, ScalarType, Settings};
+use blazr_tensor::NdArray;
+
+/// The outcome of a successful tuning search.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Settings that met the bound.
+    pub settings: Settings,
+    /// Chosen float format.
+    pub float_type: ScalarType,
+    /// Chosen bin index type.
+    pub index_type: IndexType,
+    /// The measured L∞ error on the sample.
+    pub achieved_linf: f64,
+    /// The (data-independent) compression ratio vs FP64.
+    pub ratio: f64,
+    /// How many candidates were evaluated before success.
+    pub candidates_tried: usize,
+}
+
+/// Search-space configuration.
+#[derive(Debug, Clone)]
+pub struct TuneOptions {
+    /// Hypercubic block edges to consider.
+    pub block_edges: Vec<usize>,
+    /// Fractions of coefficients to keep (by lowest total frequency).
+    pub keep_fractions: Vec<f64>,
+    /// Float formats to consider.
+    pub float_types: Vec<ScalarType>,
+    /// Index types to consider.
+    pub index_types: Vec<IndexType>,
+}
+
+impl Default for TuneOptions {
+    fn default() -> Self {
+        Self {
+            block_edges: vec![4, 8, 16],
+            keep_fractions: vec![1.0, 0.75, 0.5, 0.25, 0.125],
+            float_types: vec![ScalarType::F32, ScalarType::F64],
+            index_types: vec![IndexType::I8, IndexType::I16, IndexType::I32],
+        }
+    }
+}
+
+/// Finds the highest-ratio setting in the lattice whose measured L∞
+/// reconstruction error on `sample` is at most `target_linf`.
+///
+/// Returns `None` if no candidate meets the bound (e.g. the bound is
+/// tighter than even float64/int32/unpruned binning can deliver on this
+/// data).
+///
+/// ```
+/// use blazr::tune::{tune_for_linf, TuneOptions};
+/// use blazr_tensor::NdArray;
+/// let a = NdArray::from_fn(vec![32, 32], |i| (i[0] as f64 / 7.0).sin());
+/// let r = tune_for_linf(&a, 1e-3, &TuneOptions::default()).unwrap();
+/// assert!(r.achieved_linf <= 1e-3);
+/// assert!(r.ratio > 1.0);
+/// ```
+pub fn tune_for_linf(
+    sample: &NdArray<f64>,
+    target_linf: f64,
+    opts: &TuneOptions,
+) -> Option<TuneResult> {
+    assert!(target_linf > 0.0, "target bound must be positive");
+    let d = sample.ndim();
+    // Build the candidate lattice with its data-independent ratios.
+    struct Candidate {
+        settings: Settings,
+        ft: ScalarType,
+        it: IndexType,
+        ratio: f64,
+    }
+    let mut candidates = Vec::new();
+    for &edge in &opts.block_edges {
+        let block: Vec<usize> = vec![edge; d];
+        let block_len: usize = block.iter().product();
+        for &frac in &opts.keep_fractions {
+            let kept = ((block_len as f64 * frac).round() as usize).clamp(1, block_len);
+            let Ok(mask) = PruningMask::keep_lowest_frequencies(&block, kept) else {
+                continue;
+            };
+            let Ok(base) = Settings::new(block.clone()) else {
+                continue;
+            };
+            let Ok(settings) = base.with_mask(mask) else {
+                continue;
+            };
+            for &ft in &opts.float_types {
+                for &it in &opts.index_types {
+                    let ratio = crate::ratio::exact_ratio(
+                        64,
+                        sample.shape(),
+                        &block,
+                        ft.bits(),
+                        it.bits(),
+                        kept,
+                    );
+                    candidates.push(Candidate {
+                        settings: settings.clone(),
+                        ft,
+                        it,
+                        ratio,
+                    });
+                }
+            }
+        }
+    }
+    // Best ratio first; deterministic tie-break by (smaller float, smaller
+    // index) for reproducibility.
+    candidates.sort_by(|a, b| {
+        b.ratio
+            .partial_cmp(&a.ratio)
+            .expect("ratios are finite")
+            .then(a.ft.bits().cmp(&b.ft.bits()))
+            .then(a.it.bits().cmp(&b.it.bits()))
+    });
+
+    for (tried, cand) in candidates.iter().enumerate() {
+        let Ok(compressed) = compress_dyn(sample, &cand.settings, cand.ft, cand.it) else {
+            continue;
+        };
+        let d = compressed.decompress();
+        let linf = sample
+            .as_slice()
+            .iter()
+            .zip(d.as_slice())
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        if linf <= target_linf {
+            return Some(TuneResult {
+                settings: cand.settings.clone(),
+                float_type: cand.ft,
+                index_type: cand.it,
+                achieved_linf: linf,
+                ratio: cand.ratio,
+                candidates_tried: tried + 1,
+            });
+        }
+    }
+    None
+}
+
+/// Convenience: tune with [`TuneOptions::default`].
+pub fn tune_for_linf_default(
+    sample: &NdArray<f64>,
+    target_linf: f64,
+) -> Result<TuneResult, BlazError> {
+    tune_for_linf(sample, target_linf, &TuneOptions::default()).ok_or_else(|| {
+        BlazError::InvalidBlockShape(format!(
+            "no setting in the default lattice meets L∞ ≤ {target_linf}"
+        ))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn smooth(n: usize) -> NdArray<f64> {
+        NdArray::from_fn(vec![n, n], |i| {
+            ((i[0] as f64) / 9.0).sin() * ((i[1] as f64) / 13.0).cos()
+        })
+    }
+
+    #[test]
+    fn meets_the_bound() {
+        let a = smooth(48);
+        for target in [1e-1, 1e-2, 1e-3, 1e-5] {
+            let r = tune_for_linf(&a, target, &TuneOptions::default()).expect("tunable");
+            assert!(
+                r.achieved_linf <= target,
+                "target {target}: achieved {}",
+                r.achieved_linf
+            );
+        }
+    }
+
+    #[test]
+    fn looser_bounds_give_higher_ratios() {
+        let a = smooth(48);
+        let loose = tune_for_linf(&a, 1e-1, &TuneOptions::default()).unwrap();
+        let tight = tune_for_linf(&a, 1e-5, &TuneOptions::default()).unwrap();
+        assert!(
+            loose.ratio >= tight.ratio,
+            "loose {} vs tight {}",
+            loose.ratio,
+            tight.ratio
+        );
+    }
+
+    #[test]
+    fn impossible_bound_returns_none() {
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let noise = NdArray::from_fn(vec![32, 32], |_| rng.uniform_in(-1.0, 1.0));
+        // Machine-epsilon-level bound on noise: unreachable for a lossy
+        // codec with these settings.
+        assert!(tune_for_linf(&noise, 1e-14, &TuneOptions::default()).is_none());
+        assert!(tune_for_linf_default(&noise, 1e-14).is_err());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let a = smooth(32);
+        let r1 = tune_for_linf(&a, 1e-3, &TuneOptions::default()).unwrap();
+        let r2 = tune_for_linf(&a, 1e-3, &TuneOptions::default()).unwrap();
+        assert_eq!(r1.float_type, r2.float_type);
+        assert_eq!(r1.index_type, r2.index_type);
+        assert_eq!(r1.settings, r2.settings);
+    }
+
+    #[test]
+    fn first_hit_is_best_ratio_in_lattice() {
+        // Every candidate with a strictly better ratio than the returned
+        // one must violate the bound.
+        let a = smooth(32);
+        let target = 1e-3;
+        let opts = TuneOptions::default();
+        let r = tune_for_linf(&a, target, &opts).unwrap();
+        // Re-evaluate the full lattice (slow but exhaustive).
+        for &edge in &opts.block_edges {
+            let block = vec![edge; 2];
+            let block_len: usize = block.iter().product();
+            for &frac in &opts.keep_fractions {
+                let kept = ((block_len as f64 * frac).round() as usize).clamp(1, block_len);
+                let mask = PruningMask::keep_lowest_frequencies(&block, kept).unwrap();
+                let s = Settings::new(block.clone()).unwrap().with_mask(mask).unwrap();
+                for &ft in &opts.float_types {
+                    for &it in &opts.index_types {
+                        let ratio = crate::ratio::exact_ratio(
+                            64,
+                            a.shape(),
+                            &block,
+                            ft.bits(),
+                            it.bits(),
+                            kept,
+                        );
+                        if ratio <= r.ratio {
+                            continue;
+                        }
+                        let c = compress_dyn(&a, &s, ft, it).unwrap();
+                        let dec = c.decompress();
+                        let linf = blazr_util::stats::max_abs_diff(
+                            a.as_slice(),
+                            dec.as_slice(),
+                        );
+                        assert!(
+                            linf > target,
+                            "candidate {ft}/{it}/{block:?}/kept{kept} has ratio {ratio} > {} yet meets the bound ({linf})",
+                            r.ratio
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn works_in_three_dimensions() {
+        let a = NdArray::from_fn(vec![12, 20, 20], |i| {
+            (i[0] as f64 / 5.0).cos() + (i[1] as f64 / 7.0).sin() + i[2] as f64 * 0.01
+        });
+        let r = tune_for_linf(&a, 1e-2, &TuneOptions::default()).unwrap();
+        assert_eq!(r.settings.block_shape.len(), 3);
+        assert!(r.achieved_linf <= 1e-2);
+    }
+}

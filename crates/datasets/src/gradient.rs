@@ -1,0 +1,61 @@
+//! The constant-gradient test array of §IV-E.
+//!
+//! "We compressed and decompressed hypercubic arrays with elements ranging
+//! from 0 to 1 arranged in a constant gradient from the lowest indices to
+//! the highest indices": `X_x = Σx / Σ(s−1)`.
+
+use blazr_tensor::NdArray;
+
+/// Builds the §IV-E gradient array of the given shape: element value is
+/// the sum of its coordinates divided by the sum of the maximal
+/// coordinates, spanning [0, 1].
+pub fn gradient(shape: &[usize]) -> NdArray<f64> {
+    let denom: usize = shape.iter().map(|&s| s.saturating_sub(1)).sum();
+    let denom = denom.max(1) as f64;
+    NdArray::from_fn(shape.to_vec(), |idx| {
+        idx.iter().sum::<usize>() as f64 / denom
+    })
+}
+
+/// A hypercubic gradient array: `gradient(&[size; d])`.
+pub fn hypercube(size: usize, d: usize) -> NdArray<f64> {
+    gradient(&vec![size; d])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_span_zero_to_one() {
+        let g = hypercube(8, 3);
+        assert_eq!(g.get(&[0, 0, 0]), 0.0);
+        assert_eq!(g.get(&[7, 7, 7]), 1.0);
+    }
+
+    #[test]
+    fn gradient_is_monotone_along_each_axis() {
+        let g = hypercube(16, 2);
+        for i in 0..16 {
+            for j in 1..16 {
+                assert!(g.get(&[i, j]) > g.get(&[i, j - 1]));
+            }
+        }
+    }
+
+    #[test]
+    fn constant_slope() {
+        let g = hypercube(32, 1);
+        let d0 = g.get(&[1]) - g.get(&[0]);
+        for i in 2..32 {
+            let d = g.get(&[i]) - g.get(&[i - 1]);
+            assert!((d - d0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn single_element_shape_is_finite() {
+        let g = hypercube(1, 2);
+        assert_eq!(g.get(&[0, 0]), 0.0);
+    }
+}

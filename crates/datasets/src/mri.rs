@@ -1,0 +1,240 @@
+//! Synthetic FLAIR-like MRI volumes (paper §V-B).
+//!
+//! The LGG segmentation dataset's FLAIR channel consists of 110 brain
+//! volumes whose first dimension (axial slices) varies from 20 to 88
+//! (mean 35.7) while the other two are fixed at 256×256 — spatially
+//! smooth anatomy with localized bright structures, normalized to [0, 1]
+//! with mean ≈ 0.0870 and standard deviation ≈ 0.1238.
+//!
+//! This generator reproduces those properties: an ellipsoidal "brain"
+//! envelope, a mixture of smooth Gaussian blobs (tissue structure and
+//! lesion-like bright spots), low-amplitude smooth noise, skewed
+//! first-dimension sizes, and a final rescale toward the FLAIR intensity
+//! statistics.
+
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+
+/// In-plane resolution of every volume (matches the dataset).
+pub const SLICE: usize = 256;
+/// Target mean intensity (paper: FLAIR mean 0.0870).
+pub const TARGET_MEAN: f64 = 0.0870;
+/// Target standard deviation (paper: 0.1238).
+pub const TARGET_STD: f64 = 0.1238;
+
+/// Deterministic generator for a dataset of FLAIR-like volumes.
+#[derive(Debug, Clone)]
+pub struct MriDataset {
+    /// Base seed; volume `i` derives its own stream from it.
+    pub seed: u64,
+    /// Number of volumes (the real dataset has 110).
+    pub volumes: usize,
+    /// In-plane resolution (256 in the dataset; reducible for tests).
+    pub slice: usize,
+}
+
+impl MriDataset {
+    /// The full-scale dataset configuration (110 volumes of 256×256).
+    pub fn full(seed: u64) -> Self {
+        Self {
+            seed,
+            volumes: 110,
+            slice: SLICE,
+        }
+    }
+
+    /// A reduced dataset for tests and quick runs.
+    pub fn small(seed: u64, volumes: usize, slice: usize) -> Self {
+        Self {
+            seed,
+            volumes,
+            slice,
+        }
+    }
+
+    /// First-dimension (slice count) of volume `i`: skewed toward small
+    /// values in 20..=88 with mean ≈ 36, like the dataset.
+    pub fn depth_of(&self, i: usize) -> usize {
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0xD1B5));
+        let u = rng.uniform();
+        20 + (48.0 * u * u).round() as usize
+    }
+
+    /// Generates volume `i` (values in [0, 1], FLAIR-like statistics).
+    pub fn volume(&self, i: usize) -> NdArray<f64> {
+        assert!(i < self.volumes, "volume index out of range");
+        let mut rng = Xoshiro256pp::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0xB10B));
+        let d0 = self.depth_of(i);
+        let (d1, d2) = (self.slice, self.slice);
+
+        // Blob mixture: coarse anatomy + a few bright lesion-like spots.
+        struct Blob {
+            c: [f64; 3],
+            sigma: [f64; 3],
+            amp: f64,
+        }
+        let mut blobs = Vec::new();
+        let n_anatomy = 6 + rng.range(0, 5);
+        for _ in 0..n_anatomy {
+            blobs.push(Blob {
+                c: [
+                    rng.uniform_in(0.25, 0.75),
+                    rng.uniform_in(0.3, 0.7),
+                    rng.uniform_in(0.3, 0.7),
+                ],
+                sigma: [
+                    rng.uniform_in(0.15, 0.35),
+                    rng.uniform_in(0.1, 0.25),
+                    rng.uniform_in(0.1, 0.25),
+                ],
+                amp: rng.uniform_in(0.25, 0.6),
+            });
+        }
+        let n_lesions = rng.range(0, 4);
+        for _ in 0..n_lesions {
+            blobs.push(Blob {
+                c: [
+                    rng.uniform_in(0.3, 0.7),
+                    rng.uniform_in(0.35, 0.65),
+                    rng.uniform_in(0.35, 0.65),
+                ],
+                sigma: [
+                    rng.uniform_in(0.04, 0.1),
+                    rng.uniform_in(0.03, 0.08),
+                    rng.uniform_in(0.03, 0.08),
+                ],
+                amp: rng.uniform_in(0.7, 1.0),
+            });
+        }
+
+        // Low-frequency multiplicative noise field via a few random cosines
+        // (keeps the data smooth, like real MRI bias fields).
+        let mut waves = Vec::new();
+        for _ in 0..4 {
+            waves.push((
+                rng.uniform_in(2.0, 6.0),
+                rng.uniform_in(2.0, 6.0),
+                rng.uniform_in(2.0, 6.0),
+                rng.uniform_in(0.0, std::f64::consts::TAU),
+            ));
+        }
+
+        let mut vol = NdArray::from_fn(vec![d0, d1, d2], |idx| {
+            let p = [
+                (idx[0] as f64 + 0.5) / d0 as f64,
+                (idx[1] as f64 + 0.5) / d1 as f64,
+                (idx[2] as f64 + 0.5) / d2 as f64,
+            ];
+            // Ellipsoidal head envelope: zero outside.
+            let e = ((p[0] - 0.5) / 0.48).powi(2)
+                + ((p[1] - 0.5) / 0.42).powi(2)
+                + ((p[2] - 0.5) / 0.42).powi(2);
+            if e > 1.0 {
+                return 0.0;
+            }
+            let envelope = 1.0 - e;
+            let mut val = 0.0;
+            for b in &blobs {
+                let q = (0..3)
+                    .map(|k| ((p[k] - b.c[k]) / b.sigma[k]).powi(2))
+                    .sum::<f64>();
+                val += b.amp * (-0.5 * q).exp();
+            }
+            let mut bias = 1.0;
+            for &(fx, fy, fz, ph) in &waves {
+                bias += 0.04
+                    * (std::f64::consts::TAU * (fx * p[0] + fy * p[1] + fz * p[2]) + ph).cos();
+            }
+            (val * bias * envelope).max(0.0)
+        });
+
+        // Rescale toward FLAIR statistics: scale so the mean matches, then
+        // clamp to [0, 1]. The large zero background keeps std in the
+        // right regime automatically.
+        let mean = blazr_tensor::reduce::mean(&vol);
+        if mean > 0.0 {
+            let scale = TARGET_MEAN / mean;
+            vol = vol.map(|v| (v * scale).clamp(0.0, 1.0));
+        }
+        vol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_tensor::reduce;
+
+    fn small() -> MriDataset {
+        MriDataset::small(7, 8, 64)
+    }
+
+    #[test]
+    fn depths_are_in_dataset_range() {
+        let ds = MriDataset::full(1);
+        let mut total = 0usize;
+        for i in 0..ds.volumes {
+            let d = ds.depth_of(i);
+            assert!((20..=88).contains(&d), "depth {d}");
+            total += d;
+        }
+        let mean = total as f64 / ds.volumes as f64;
+        // Paper: mean 35.72. Accept the right regime.
+        assert!((28.0..=44.0).contains(&mean), "mean depth {mean}");
+    }
+
+    #[test]
+    fn volumes_are_deterministic() {
+        let ds = small();
+        let a = ds.volume(3);
+        let b = ds.volume(3);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn volumes_differ_from_each_other() {
+        let ds = small();
+        let a = ds.volume(0);
+        let b = ds.volume(1);
+        assert!(a.shape() != b.shape() || a.as_slice() != b.as_slice());
+    }
+
+    #[test]
+    fn values_are_normalized() {
+        let ds = small();
+        let v = ds.volume(2);
+        for &x in v.as_slice() {
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn statistics_are_flair_like() {
+        let ds = small();
+        let v = ds.volume(4);
+        let mean = reduce::mean(&v);
+        let std = reduce::std_dev(&v);
+        assert!(
+            (TARGET_MEAN * 0.5..=TARGET_MEAN * 1.6).contains(&mean),
+            "mean {mean}"
+        );
+        assert!((0.04..=0.30).contains(&std), "std {std}");
+    }
+
+    #[test]
+    fn anisotropic_shape() {
+        let ds = small();
+        let v = ds.volume(5);
+        let s = v.shape();
+        assert_eq!(s[1], 64);
+        assert_eq!(s[2], 64);
+        assert!(s[0] < s[1], "first dimension is the short one");
+    }
+
+    #[test]
+    fn background_is_zero_outside_head() {
+        let ds = small();
+        let v = ds.volume(6);
+        assert_eq!(v.get(&[0, 0, 0]), 0.0);
+    }
+}

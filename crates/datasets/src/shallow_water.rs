@@ -1,0 +1,340 @@
+//! A 2-D shallow-water simulation, generic over arithmetic precision.
+//!
+//! Stand-in for the paper's ShallowWaters.jl runs (§V-A): a linearized
+//! shallow-water model on a collocated grid with forward–backward time
+//! stepping, double-gyre wind forcing, seamount topography, bottom
+//! friction, lateral viscosity, and non-periodic (closed) boundaries —
+//! the same configuration family the paper simulates.
+//!
+//! The solver is generic over [`Real`], so the *entire* state and every
+//! arithmetic operation can run in software FP16 — which is how the
+//! Fig. 4 experiment produces its two precision variants ("two movies")
+//! of the same physics whose difference the compressed-space operations
+//! then localize.
+
+use blazr_precision::Real;
+use blazr_tensor::NdArray;
+
+/// Physical and numerical configuration (all in `f64`; converted into the
+/// solver's precision at construction).
+#[derive(Debug, Clone)]
+pub struct SwConfig {
+    /// Grid cells in x (first dimension).
+    pub nx: usize,
+    /// Grid cells in y (second dimension).
+    pub ny: usize,
+    /// Grid spacing (m).
+    pub dx: f64,
+    /// Gravitational acceleration (m/s²).
+    pub gravity: f64,
+    /// Mean water depth (m).
+    pub depth: f64,
+    /// Coriolis parameter f₀ (1/s).
+    pub coriolis: f64,
+    /// Wind stress amplitude (m/s² equivalent).
+    pub wind_amplitude: f64,
+    /// Linear bottom friction coefficient (1/s).
+    pub friction: f64,
+    /// Lateral eddy viscosity (m²/s).
+    pub viscosity: f64,
+    /// Seamount height as a fraction of depth (0 disables).
+    pub seamount_height: f64,
+    /// CFL safety factor for the time step.
+    pub cfl: f64,
+}
+
+impl Default for SwConfig {
+    fn default() -> Self {
+        Self {
+            nx: 100,
+            ny: 200,
+            dx: 5_000.0,
+            gravity: 9.81,
+            depth: 500.0,
+            coriolis: 1e-4,
+            wind_amplitude: 3e-5,
+            friction: 2e-6,
+            viscosity: 300.0,
+            seamount_height: 0.5,
+            cfl: 0.4,
+        }
+    }
+}
+
+/// Shallow-water state and stepper in precision `P`.
+#[derive(Debug, Clone)]
+pub struct ShallowWater<P: Real> {
+    cfg: SwConfig,
+    nx: usize,
+    ny: usize,
+    /// Surface elevation (m).
+    h: Vec<P>,
+    /// x-velocity (m/s).
+    u: Vec<P>,
+    /// y-velocity (m/s).
+    v: Vec<P>,
+    /// Local water depth H(x, y) including the seamount.
+    depth_field: Vec<P>,
+    /// Double-gyre wind forcing on u, per row (depends on y only).
+    wind: Vec<P>,
+    dt: P,
+    steps_taken: usize,
+}
+
+impl<P: Real> ShallowWater<P> {
+    /// Builds the model at rest (h = u = v = 0) over the configured
+    /// topography.
+    pub fn new(cfg: SwConfig) -> Self {
+        let (nx, ny) = (cfg.nx, cfg.ny);
+        assert!(nx >= 4 && ny >= 4, "grid too small");
+        let n = nx * ny;
+        let mut depth_field = Vec::with_capacity(n);
+        for i in 0..nx {
+            for j in 0..ny {
+                // Gaussian seamount in the domain center.
+                let x = (i as f64 + 0.5) / nx as f64 - 0.5;
+                let y = (j as f64 + 0.5) / ny as f64 - 0.5;
+                let bump = cfg.seamount_height
+                    * cfg.depth
+                    * (-(x * x + y * y) / (2.0 * 0.08f64.powi(2))).exp();
+                depth_field.push(P::from_f64(cfg.depth - bump));
+            }
+        }
+        // Double-gyre wind: two counter-rotating cells across y.
+        let wind: Vec<P> = (0..ny)
+            .map(|j| {
+                let y = (j as f64 + 0.5) / ny as f64;
+                P::from_f64(cfg.wind_amplitude * (2.0 * std::f64::consts::PI * y).cos())
+            })
+            .collect();
+        let c = (cfg.gravity * cfg.depth).sqrt();
+        let dt = P::from_f64(cfg.cfl * cfg.dx / (c * std::f64::consts::SQRT_2));
+        Self {
+            nx,
+            ny,
+            h: vec![P::zero(); n],
+            u: vec![P::zero(); n],
+            v: vec![P::zero(); n],
+            depth_field,
+            wind,
+            dt,
+            cfg,
+            steps_taken: 0,
+        }
+    }
+
+    #[inline]
+    fn at(&self, i: usize, j: usize) -> usize {
+        i * self.ny + j
+    }
+
+    /// Advances one forward–backward step (continuity first, then
+    /// momentum against the updated surface — stable for gravity waves at
+    /// CFL ≤ 1/√2).
+    pub fn step(&mut self) {
+        let (nx, ny) = (self.nx, self.ny);
+        let dt = self.dt;
+        let inv_2dx = P::from_f64(1.0 / (2.0 * self.cfg.dx));
+        let g = P::from_f64(self.cfg.gravity);
+        let f0 = P::from_f64(self.cfg.coriolis);
+        let r = P::from_f64(self.cfg.friction);
+        let nu_dx2 = P::from_f64(self.cfg.viscosity / (self.cfg.dx * self.cfg.dx));
+        let four = P::from_f64(4.0);
+
+        // Continuity: h += −dt·H·(∂u/∂x + ∂v/∂y), interior points.
+        let mut new_h = self.h.clone();
+        for i in 1..nx - 1 {
+            for j in 1..ny - 1 {
+                let k = self.at(i, j);
+                let dudx = (self.u[self.at(i + 1, j)] - self.u[self.at(i - 1, j)]) * inv_2dx;
+                let dvdy = (self.v[self.at(i, j + 1)] - self.v[self.at(i, j - 1)]) * inv_2dx;
+                new_h[k] = self.h[k] - dt * self.depth_field[k] * (dudx + dvdy);
+            }
+        }
+        // Closed basin: zero-gradient h at walls.
+        for j in 0..ny {
+            new_h[self.at(0, j)] = new_h[self.at(1, j)];
+            new_h[self.at(nx - 1, j)] = new_h[self.at(nx - 2, j)];
+        }
+        for i in 0..nx {
+            new_h[self.at(i, 0)] = new_h[self.at(i, 1)];
+            new_h[self.at(i, ny - 1)] = new_h[self.at(i, ny - 2)];
+        }
+        self.h = new_h;
+
+        // Momentum against the *new* h (the "backward" half).
+        let mut new_u = self.u.clone();
+        let mut new_v = self.v.clone();
+        for i in 1..nx - 1 {
+            for j in 1..ny - 1 {
+                let k = self.at(i, j);
+                let dhdx = (self.h[self.at(i + 1, j)] - self.h[self.at(i - 1, j)]) * inv_2dx;
+                let dhdy = (self.h[self.at(i, j + 1)] - self.h[self.at(i, j - 1)]) * inv_2dx;
+                let lap_u = self.u[self.at(i + 1, j)]
+                    + self.u[self.at(i - 1, j)]
+                    + self.u[self.at(i, j + 1)]
+                    + self.u[self.at(i, j - 1)]
+                    - four * self.u[k];
+                let lap_v = self.v[self.at(i + 1, j)]
+                    + self.v[self.at(i - 1, j)]
+                    + self.v[self.at(i, j + 1)]
+                    + self.v[self.at(i, j - 1)]
+                    - four * self.v[k];
+                new_u[k] = self.u[k]
+                    + dt * (f0 * self.v[k] - g * dhdx - r * self.u[k]
+                        + self.wind[j]
+                        + nu_dx2 * lap_u);
+                new_v[k] = self.v[k]
+                    + dt * (-(f0 * self.u[k]) - g * dhdy - r * self.v[k] + nu_dx2 * lap_v);
+            }
+        }
+        // No-slip walls.
+        for j in 0..ny {
+            for i in [0, nx - 1] {
+                new_u[self.at(i, j)] = P::zero();
+                new_v[self.at(i, j)] = P::zero();
+            }
+        }
+        for i in 0..nx {
+            for j in [0, ny - 1] {
+                new_u[self.at(i, j)] = P::zero();
+                new_v[self.at(i, j)] = P::zero();
+            }
+        }
+        self.u = new_u;
+        self.v = new_v;
+        self.steps_taken += 1;
+    }
+
+    /// Runs `n` steps.
+    pub fn run(&mut self, n: usize) {
+        for _ in 0..n {
+            self.step();
+        }
+    }
+
+    /// Steps taken so far.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// The surface height field as an `f64` array shaped `(nx, ny)` —
+    /// the quantity Fig. 4 visualizes. Values may be negative (as the
+    /// paper notes).
+    pub fn surface_height(&self) -> NdArray<f64> {
+        NdArray::from_vec(
+            vec![self.nx, self.ny],
+            self.h.iter().map(|&x| x.to_f64()).collect(),
+        )
+    }
+
+    /// Total kinetic + potential energy density (diagnostic).
+    pub fn energy(&self) -> f64 {
+        let mut e = 0.0;
+        for k in 0..self.h.len() {
+            let (h, u, v) = (
+                self.h[k].to_f64(),
+                self.u[k].to_f64(),
+                self.v[k].to_f64(),
+            );
+            e += 0.5 * self.cfg.gravity * h * h
+                + 0.5 * self.cfg.depth * (u * u + v * v);
+        }
+        e / self.h.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_precision::F16;
+
+    fn small_cfg() -> SwConfig {
+        SwConfig {
+            nx: 24,
+            ny: 48,
+            ..SwConfig::default()
+        }
+    }
+
+    #[test]
+    fn starts_at_rest() {
+        let sw = ShallowWater::<f64>::new(small_cfg());
+        assert_eq!(sw.energy(), 0.0);
+        assert!(sw.surface_height().as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn wind_spins_up_motion() {
+        let mut sw = ShallowWater::<f64>::new(small_cfg());
+        sw.run(200);
+        assert!(sw.energy() > 0.0);
+        let h = sw.surface_height();
+        assert!(h.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn stays_finite_and_bounded_f64() {
+        let mut sw = ShallowWater::<f64>::new(small_cfg());
+        sw.run(2000);
+        let h = sw.surface_height();
+        for &x in h.as_slice() {
+            assert!(x.is_finite());
+            assert!(x.abs() < 100.0, "runaway surface height {x}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = ShallowWater::<f64>::new(small_cfg());
+        let mut b = ShallowWater::<f64>::new(small_cfg());
+        a.run(100);
+        b.run(100);
+        assert_eq!(a.surface_height().as_slice(), b.surface_height().as_slice());
+    }
+
+    #[test]
+    fn f16_and_f64_diverge() {
+        // The Fig. 4 premise: identical physics at different precisions
+        // produces visibly different fields.
+        let mut lo = ShallowWater::<F16>::new(small_cfg());
+        let mut hi = ShallowWater::<f64>::new(small_cfg());
+        lo.run(400);
+        hi.run(400);
+        let a = lo.surface_height();
+        let b = hi.surface_height();
+        let max_diff = blazr_util::stats::max_abs_diff(a.as_slice(), b.as_slice());
+        assert!(max_diff > 0.0, "precisions should diverge");
+        // But FP16 must not have blown up either.
+        assert!(a.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn f32_closer_to_f64_than_f16() {
+        let mut h16 = ShallowWater::<F16>::new(small_cfg());
+        let mut h32 = ShallowWater::<f32>::new(small_cfg());
+        let mut h64 = ShallowWater::<f64>::new(small_cfg());
+        h16.run(300);
+        h32.run(300);
+        h64.run(300);
+        let r = h64.surface_height();
+        let e16 = blazr_util::stats::rms_diff(h16.surface_height().as_slice(), r.as_slice());
+        let e32 = blazr_util::stats::rms_diff(h32.surface_height().as_slice(), r.as_slice());
+        assert!(e32 < e16, "f32 err {e32} should beat f16 err {e16}");
+    }
+
+    #[test]
+    fn seamount_shapes_the_flow() {
+        let mut flat_cfg = small_cfg();
+        flat_cfg.seamount_height = 0.0;
+        let mut flat = ShallowWater::<f64>::new(flat_cfg);
+        let mut mount = ShallowWater::<f64>::new(small_cfg());
+        flat.run(300);
+        mount.run(300);
+        let d = blazr_util::stats::max_abs_diff(
+            flat.surface_height().as_slice(),
+            mount.surface_height().as_slice(),
+        );
+        assert!(d > 0.0, "topography must matter");
+    }
+}

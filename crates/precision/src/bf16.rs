@@ -1,0 +1,256 @@
+//! bfloat16 ("brain floating point") implemented in software.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 16-bit bfloat16 floating-point number.
+///
+/// Layout: 1 sign bit, 8 exponent bits (same range as `f32`), 7 significand
+/// bits. Compared to [`crate::F16`] it trades significand precision for
+/// dynamic range — which is why the paper observes bfloat16 "avoids NaNs
+/// because of its longer exponent" while usually having larger error than
+/// binary16 (§V-B).
+///
+/// Conversion from `f32` rounds to nearest, ties to even.
+#[derive(Clone, Copy, Default)]
+pub struct BF16(u16);
+
+const EXP_MASK: u16 = 0x7F80;
+const MAN_MASK: u16 = 0x007F;
+const SIGN_MASK: u16 = 0x8000;
+
+impl BF16 {
+    /// Positive zero.
+    pub const ZERO: BF16 = BF16(0);
+    /// One.
+    pub const ONE: BF16 = BF16(0x3F80);
+    /// Positive infinity.
+    pub const INFINITY: BF16 = BF16(0x7F80);
+    /// Negative infinity.
+    pub const NEG_INFINITY: BF16 = BF16(0xFF80);
+    /// A quiet NaN.
+    pub const NAN: BF16 = BF16(0x7FC0);
+    /// Largest finite value (≈ 3.39 × 10³⁸).
+    pub const MAX: BF16 = BF16(0x7F7F);
+
+    /// Constructs from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        BF16(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            // Keep sign and top payload bits, force the quiet bit.
+            return BF16(((bits >> 16) as u16) | 0x0040);
+        }
+        let lower = bits & 0xFFFF;
+        let mut upper = bits >> 16;
+        let half = 0x8000u32;
+        if lower > half || (lower == half && (upper & 1) == 1) {
+            upper += 1; // may carry into the exponent, including to Inf — correct
+        }
+        BF16(upper as u16)
+    }
+
+    /// Converts to `f32` exactly.
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// Converts from `f64` (rounds through `f32`).
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if this value is ±Inf.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// True if this value is neither Inf nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Absolute value (clears the sign bit).
+    pub fn abs(self) -> Self {
+        BF16(self.0 & !SIGN_MASK)
+    }
+
+    /// Square root through f32.
+    pub fn sqrt(self) -> Self {
+        BF16::from_f32(self.to_f32().sqrt())
+    }
+}
+
+impl Add for BF16 {
+    type Output = BF16;
+    fn add(self, rhs: BF16) -> BF16 {
+        BF16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for BF16 {
+    type Output = BF16;
+    fn sub(self, rhs: BF16) -> BF16 {
+        BF16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for BF16 {
+    type Output = BF16;
+    fn mul(self, rhs: BF16) -> BF16 {
+        BF16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for BF16 {
+    type Output = BF16;
+    fn div(self, rhs: BF16) -> BF16 {
+        BF16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for BF16 {
+    type Output = BF16;
+    fn neg(self) -> BF16 {
+        BF16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl PartialEq for BF16 {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for BF16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BF16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for BF16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for BF16 {
+    fn from(x: f32) -> Self {
+        BF16::from_f32(x)
+    }
+}
+
+impl From<BF16> for f32 {
+    fn from(x: BF16) -> f32 {
+        x.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(BF16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(BF16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(BF16::from_f32(1.0).to_bits(), 0x3F80);
+        assert_eq!(BF16::from_f32(-2.0).to_bits(), 0xC000);
+        assert_eq!(BF16::from_f32(3.140625).to_bits(), 0x4049);
+    }
+
+    #[test]
+    fn all_finite_values_roundtrip_through_f32() {
+        for bits in 0u16..=0xFFFF {
+            let h = BF16::from_bits(bits);
+            if h.is_nan() {
+                assert!(BF16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            assert_eq!(BF16::from_f32(h.to_f32()).to_bits(), bits);
+        }
+    }
+
+    #[test]
+    fn wider_range_than_f16() {
+        // 1e20 overflows f16 but is finite in bf16.
+        let v = BF16::from_f32(1e20);
+        assert!(v.is_finite());
+        let rel = (v.to_f32() - 1e20).abs() / 1e20;
+        assert!(rel < 0.01, "rel err {rel}");
+    }
+
+    #[test]
+    fn coarser_precision_than_f16() {
+        // 1 + 2^-8 rounds away in bf16 (7 mantissa bits).
+        let x = 1.0f32 + 2.0f32.powi(-9);
+        assert_eq!(BF16::from_f32(x).to_f32(), 1.0);
+        // 1 + 2^-7 is representable.
+        let y = 1.0f32 + 2.0f32.powi(-7);
+        assert_eq!(BF16::from_f32(y).to_f32(), y);
+    }
+
+    #[test]
+    fn ties_to_even() {
+        // 1 + 2^-8 is exactly halfway between 1.0 and 1+2^-7; even wins.
+        let x = 1.0f32 + 2.0f32.powi(-8);
+        assert_eq!(BF16::from_f32(x).to_bits(), 0x3F80);
+        // 1 + 3·2^-8 is halfway between 1+2^-7 and 1+2^-6; even (1+2^-6) wins.
+        let y = 1.0f32 + 3.0 * 2.0f32.powi(-8);
+        assert_eq!(BF16::from_f32(y).to_bits(), 0x3F82);
+    }
+
+    #[test]
+    fn rounding_to_infinity() {
+        // Above the bf16 max but below f32 max: rounds to Inf.
+        let over = f32::from_bits(0x7F7F_FFFF); // just below f32 max... still > bf16 max midpoint
+        assert!(BF16::from_f32(over).is_infinite());
+    }
+
+    #[test]
+    fn nan_stays_nan() {
+        assert!(BF16::from_f32(f32::NAN).is_nan());
+        assert!((BF16::INFINITY - BF16::INFINITY).is_nan());
+        assert!((BF16::NAN * BF16::ONE).is_nan());
+    }
+
+    #[test]
+    fn arithmetic_behaviour() {
+        let a = BF16::from_f32(1.5);
+        let b = BF16::from_f32(2.5);
+        assert_eq!((a + b).to_f32(), 4.0);
+        assert_eq!((a * b).to_f32(), 3.75);
+        assert_eq!((-b).to_f32(), -2.5);
+        // 256 + 1 drops in bf16 (ulp at 256 is 2).
+        let big = BF16::from_f32(256.0);
+        assert_eq!((big + BF16::ONE).to_f32(), 256.0);
+    }
+}

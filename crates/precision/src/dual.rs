@@ -1,0 +1,213 @@
+//! Forward-mode dual numbers: differentiation through the codec.
+//!
+//! The paper notes (§IV) that every compressed-space operation except the
+//! approximate Wasserstein distance is differentiable, enabling use in
+//! gradient-based pipelines. PyBlaz gets this from PyTorch autograd; here
+//! the same property falls out of genericity: [`Dual`] implements
+//! [`crate::Real`], so instantiating the codec at `P = Dual` propagates a
+//! directional derivative through compression and every operation.
+//!
+//! Semantics match autograd's treatment of quantization: `round()` (the
+//! binning step) is piecewise constant, so its derivative contribution is
+//! zero ("straight-through"); gradients flow through the per-block scales
+//! `N` and all the linear algebra, exactly as in the PyTorch
+//! implementation.
+
+use crate::Real;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A first-order dual number `value + ε·deriv` with `ε² = 0`.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Dual {
+    /// The primal value.
+    pub value: f64,
+    /// The tangent (directional derivative) carried alongside.
+    pub deriv: f64,
+}
+
+impl Dual {
+    /// A constant (zero derivative).
+    pub fn constant(value: f64) -> Self {
+        Self { value, deriv: 0.0 }
+    }
+
+    /// A seeded variable: derivative 1 in the chosen direction.
+    pub fn variable(value: f64) -> Self {
+        Self { value, deriv: 1.0 }
+    }
+
+    /// A value with an explicit tangent.
+    pub fn with_deriv(value: f64, deriv: f64) -> Self {
+        Self { value, deriv }
+    }
+}
+
+impl Add for Dual {
+    type Output = Dual;
+    fn add(self, o: Dual) -> Dual {
+        Dual {
+            value: self.value + o.value,
+            deriv: self.deriv + o.deriv,
+        }
+    }
+}
+
+impl Sub for Dual {
+    type Output = Dual;
+    fn sub(self, o: Dual) -> Dual {
+        Dual {
+            value: self.value - o.value,
+            deriv: self.deriv - o.deriv,
+        }
+    }
+}
+
+impl Mul for Dual {
+    type Output = Dual;
+    fn mul(self, o: Dual) -> Dual {
+        Dual {
+            value: self.value * o.value,
+            deriv: self.deriv * o.value + self.value * o.deriv,
+        }
+    }
+}
+
+impl Div for Dual {
+    type Output = Dual;
+    fn div(self, o: Dual) -> Dual {
+        Dual {
+            value: self.value / o.value,
+            deriv: (self.deriv * o.value - self.value * o.deriv) / (o.value * o.value),
+        }
+    }
+}
+
+impl Neg for Dual {
+    type Output = Dual;
+    fn neg(self) -> Dual {
+        Dual {
+            value: -self.value,
+            deriv: -self.deriv,
+        }
+    }
+}
+
+impl PartialOrd for Dual {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.value.partial_cmp(&other.value)
+    }
+}
+
+impl fmt::Debug for Dual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}ε", self.value, self.deriv)
+    }
+}
+
+impl fmt::Display for Dual {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}ε", self.value, self.deriv)
+    }
+}
+
+impl Real for Dual {
+    fn from_f64(x: f64) -> Self {
+        Dual::constant(x)
+    }
+    fn to_f64(self) -> f64 {
+        self.value
+    }
+    fn abs(self) -> Self {
+        if self.value < 0.0 {
+            -self
+        } else {
+            self
+        }
+    }
+    fn sqrt(self) -> Self {
+        let s = self.value.sqrt();
+        Dual {
+            value: s,
+            deriv: if s == 0.0 { 0.0 } else { self.deriv / (2.0 * s) },
+        }
+    }
+    fn is_nan(self) -> bool {
+        self.value.is_nan()
+    }
+    fn is_finite(self) -> bool {
+        self.value.is_finite()
+    }
+    fn exp(self) -> Self {
+        let e = self.value.exp();
+        Dual {
+            value: e,
+            deriv: self.deriv * e,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(x: f64) -> Dual {
+        Dual::variable(x)
+    }
+
+    #[test]
+    fn arithmetic_rules() {
+        let x = var(3.0);
+        let y = Dual::constant(2.0);
+        assert_eq!((x + y).deriv, 1.0);
+        assert_eq!((x - y).deriv, 1.0);
+        assert_eq!((x * y).deriv, 2.0); // d(2x)/dx
+        assert_eq!((y / x).deriv, -2.0 / 9.0); // d(2/x)/dx = −2/x²
+        assert_eq!((-x).deriv, -1.0);
+    }
+
+    #[test]
+    fn product_rule_on_x_squared() {
+        let x = var(5.0);
+        let sq = x * x;
+        assert_eq!(sq.value, 25.0);
+        assert_eq!(sq.deriv, 10.0);
+    }
+
+    #[test]
+    fn sqrt_and_exp_derivatives() {
+        let x = var(4.0);
+        let s = x.sqrt();
+        assert_eq!(s.value, 2.0);
+        assert_eq!(s.deriv, 0.25); // 1/(2√x)
+        let e = var(0.0).exp();
+        assert_eq!(e.value, 1.0);
+        assert_eq!(e.deriv, 1.0);
+    }
+
+    #[test]
+    fn abs_derivative_tracks_sign() {
+        assert_eq!(var(-3.0).abs().deriv, -1.0);
+        assert_eq!(var(3.0).abs().deriv, 1.0);
+    }
+
+    #[test]
+    fn matches_finite_differences_on_composite() {
+        // f(x) = sqrt(x·x + 2x) compared against central differences.
+        let f = |x: Dual| (x * x + Dual::constant(2.0) * x).sqrt();
+        let x0 = 1.7f64;
+        let analytic = f(var(x0)).deriv;
+        let h = 1e-6;
+        let fd = (f(Dual::constant(x0 + h)).value - f(Dual::constant(x0 - h)).value) / (2.0 * h);
+        assert!((analytic - fd).abs() < 1e-8, "{analytic} vs {fd}");
+    }
+
+    #[test]
+    fn real_trait_constants() {
+        assert_eq!(<Dual as Real>::zero().value, 0.0);
+        assert_eq!(<Dual as Real>::one().value, 1.0);
+        assert_eq!(<Dual as Real>::one().deriv, 0.0);
+        assert!(Dual::constant(f64::NAN).is_nan());
+    }
+}

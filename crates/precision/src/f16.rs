@@ -1,0 +1,385 @@
+//! IEEE-754 binary16 ("half precision") implemented in software.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A 16-bit IEEE-754 binary16 floating-point number.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 significand bits.
+/// Largest finite value is 65504; values below 2⁻²⁴ in magnitude underflow
+/// to zero; subnormals provide gradual underflow between 2⁻²⁴ and 2⁻¹⁴.
+///
+/// Conversions from `f32` use round-to-nearest, ties-to-even, matching
+/// hardware `F16C`/GPU conversion instructions.
+#[derive(Clone, Copy, Default)]
+pub struct F16(u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+const SIGN_MASK: u16 = 0x8000;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// A quiet NaN.
+    pub const NAN: F16 = F16(0x7E00);
+    /// Largest finite value (65504).
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value (2⁻¹⁴).
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Smallest positive subnormal value (2⁻²⁴).
+    pub const MIN_SUBNORMAL: F16 = F16(0x0001);
+
+    /// Constructs from raw bits.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts from `f32` with round-to-nearest-even.
+    pub fn from_f32(x: f32) -> Self {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN.
+            return if man == 0 {
+                F16(sign | EXP_MASK)
+            } else {
+                // Preserve top payload bits; force quiet bit so the result
+                // stays a NaN even if the payload truncates to zero.
+                F16(sign | EXP_MASK | 0x0200 | ((man >> 13) as u16 & MAN_MASK))
+            };
+        }
+
+        let h_exp = exp - 127 + 15;
+        if h_exp >= 0x1F {
+            // Overflow. RNE never rounds a finite f32 to a value below the
+            // overflow threshold once h_exp ≥ 31, except the boundary case
+            // where rounding the mantissa of h_exp == 30 carries — handled
+            // in the normal path below. Here the magnitude is already too
+            // large: ±Inf.
+            return F16(sign | EXP_MASK);
+        }
+        if h_exp <= 0 {
+            // Subnormal or zero.
+            if h_exp < -10 {
+                // Magnitude < 2⁻²⁵: rounds to zero (ties-to-even sends the
+                // exact halfway case 2⁻²⁵ to zero as well).
+                return F16(sign);
+            }
+            let full = man | 0x0080_0000; // add implicit bit (24-bit value)
+            let shift = (14 - h_exp) as u32; // 14..=24
+            return F16(sign | rne_shift_u32(full, shift) as u16);
+        }
+        // Normal range: drop 13 mantissa bits with RNE. A mantissa carry
+        // propagates into the exponent (possibly producing Inf), which is
+        // exactly what integer addition on the packed representation does.
+        let base = (h_exp as u32) << 10;
+        let rounded = rne_shift_u32(man, 13);
+        F16(sign | (base + rounded) as u16)
+    }
+
+    /// Converts to `f32` exactly (every binary16 value is representable).
+    pub fn to_f32(self) -> f32 {
+        let sign_bit = ((self.0 & SIGN_MASK) as u32) << 16;
+        let exp = (self.0 & EXP_MASK) >> 10;
+        let man = (self.0 & MAN_MASK) as u32;
+        match exp {
+            0x1F => {
+                if man == 0 {
+                    f32::from_bits(sign_bit | 0x7F80_0000)
+                } else {
+                    f32::from_bits(sign_bit | 0x7F80_0000 | (man << 13) | 0x0040_0000)
+                }
+            }
+            0 => {
+                // Zero or subnormal: man × 2⁻²⁴, exact in f32.
+                let v = man as f32 * (1.0 / 16_777_216.0);
+                if self.0 & SIGN_MASK != 0 {
+                    -v
+                } else {
+                    v
+                }
+            }
+            _ => {
+                let exp32 = ((exp as i32 - 15 + 127) as u32) << 23;
+                f32::from_bits(sign_bit | exp32 | (man << 13))
+            }
+        }
+    }
+
+    /// Converts from `f64` (rounds through `f32`; the double rounding can
+    /// differ from direct rounding only for values within half an f32 ulp
+    /// of an f16 rounding boundary, which no experiment in this repository
+    /// is sensitive to).
+    pub fn from_f64(x: f64) -> Self {
+        Self::from_f32(x as f32)
+    }
+
+    /// Converts to `f64` exactly.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// True if this value is ±Inf.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & !SIGN_MASK) == EXP_MASK
+    }
+
+    /// True if this value is neither Inf nor NaN.
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+
+    /// Absolute value (clears the sign bit).
+    pub fn abs(self) -> Self {
+        F16(self.0 & !SIGN_MASK)
+    }
+
+    /// Square root, correctly rounded through f32.
+    pub fn sqrt(self) -> Self {
+        F16::from_f32(self.to_f32().sqrt())
+    }
+}
+
+fn rne_shift_u32(v: u32, n: u32) -> u32 {
+    debug_assert!((1..=31).contains(&n));
+    let kept = v >> n;
+    let rem = v & ((1 << n) - 1);
+    let half = 1 << (n - 1);
+    if rem > half || (rem == half && kept & 1 == 1) {
+        kept + 1
+    } else {
+        kept
+    }
+}
+
+impl Add for F16 {
+    type Output = F16;
+    fn add(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() + rhs.to_f32())
+    }
+}
+
+impl Sub for F16 {
+    type Output = F16;
+    fn sub(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() - rhs.to_f32())
+    }
+}
+
+impl Mul for F16 {
+    type Output = F16;
+    fn mul(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() * rhs.to_f32())
+    }
+}
+
+impl Div for F16 {
+    type Output = F16;
+    fn div(self, rhs: F16) -> F16 {
+        F16::from_f32(self.to_f32() / rhs.to_f32())
+    }
+}
+
+impl Neg for F16 {
+    type Output = F16;
+    fn neg(self) -> F16 {
+        F16(self.0 ^ SIGN_MASK)
+    }
+}
+
+impl PartialEq for F16 {
+    fn eq(&self, other: &Self) -> bool {
+        self.to_f32() == other.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_bit_patterns() {
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3C00);
+        assert_eq!(F16::from_f32(-1.0).to_bits(), 0xBC00);
+        assert_eq!(F16::from_f32(2.0).to_bits(), 0x4000);
+        assert_eq!(F16::from_f32(0.5).to_bits(), 0x3800);
+        assert_eq!(F16::from_f32(65504.0).to_bits(), 0x7BFF);
+        assert_eq!(F16::from_f32(1.5).to_bits(), 0x3E00);
+        assert_eq!(F16::from_f32(0.099976).to_bits(), 0x2E66);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(65520.0).is_infinite()); // rounds up past MAX
+        assert!(F16::from_f32(1e30).is_infinite());
+        assert!(F16::from_f32(-1e30).is_infinite());
+        assert!(F16::from_f32(-1e30).to_f32() < 0.0);
+        // 65519.99 rounds down to 65504.
+        assert_eq!(F16::from_f32(65519.0).to_bits(), 0x7BFF);
+    }
+
+    #[test]
+    fn underflow_behaviour() {
+        // 2^-24 = smallest subnormal.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_bits(), 0x0001);
+        // Half of it rounds to zero (tie to even).
+        assert_eq!(F16::from_f32(tiny / 2.0).to_bits(), 0x0000);
+        // 0.75 × smallest subnormal rounds up to it.
+        assert_eq!(F16::from_f32(tiny * 0.75).to_bits(), 0x0001);
+        // 1.5 × smallest subnormal: tie between 1 and 2, even wins → 2.
+        assert_eq!(F16::from_f32(tiny * 1.5).to_bits(), 0x0002);
+    }
+
+    #[test]
+    fn subnormal_roundtrip_exact() {
+        for bits in 1u16..0x0400 {
+            let h = F16::from_bits(bits);
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "subnormal {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn all_finite_values_roundtrip_through_f32() {
+        for bits in 0u16..=0xFFFF {
+            let h = F16::from_bits(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+                continue;
+            }
+            let back = F16::from_f32(h.to_f32());
+            assert_eq!(back.to_bits(), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn rne_ties_go_to_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1.0+2^-10;
+        // even mantissa (1.0) wins.
+        let x = 1.0f32 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(x).to_bits(), 0x3C00);
+        // 1 + 3×2^-11 is halfway between 1+2^-10 and 1+2^-9; even is 1+2^-9.
+        let y = 1.0f32 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(y).to_bits(), 0x3C02);
+        // Slightly above the tie rounds up.
+        let z = 1.0f32 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(z).to_bits(), 0x3C01);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::NAN.is_nan());
+        assert!(F16::NAN.to_f32().is_nan());
+        assert!((F16::NAN + F16::ONE).is_nan());
+        assert!((F16::INFINITY - F16::INFINITY).is_nan());
+    }
+
+    #[test]
+    fn arithmetic_small_values() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b / a).to_f32(), 1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn addition_loses_precision_as_expected() {
+        // 2048 + 1 is unrepresentable in f16 (ulp at 2048 is 2): stays 2048.
+        let big = F16::from_f32(2048.0);
+        let one = F16::ONE;
+        assert_eq!((big + one).to_f32(), 2048.0);
+        // but 2048 + 2 = 2050 works.
+        let two = F16::from_f32(2.0);
+        assert_eq!((big + two).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn overflow_in_arithmetic_gives_infinity() {
+        let big = F16::from_f32(60000.0);
+        assert!((big + big).is_infinite());
+        assert!((big * big).is_infinite());
+    }
+
+    #[test]
+    fn comparison_and_abs() {
+        let a = F16::from_f32(-3.0);
+        let b = F16::from_f32(2.0);
+        assert!(a < b);
+        assert_eq!(a.abs().to_f32(), 3.0);
+        assert!(F16::NAN.partial_cmp(&b).is_none());
+    }
+
+    #[test]
+    fn sqrt_is_sane() {
+        assert_eq!(F16::from_f32(4.0).sqrt().to_f32(), 2.0);
+        assert!(F16::from_f32(-1.0).sqrt().is_nan());
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // Largest mantissa at some exponent + rounding up must carry cleanly.
+        // 1.9995117... in f32 just below 2.0 rounds to 2.0 in f16.
+        let x = f32::from_bits(0x3FFF_FFFF); // ≈ 1.9999999
+        assert_eq!(F16::from_f32(x).to_bits(), 0x4000); // 2.0
+    }
+}

@@ -1,0 +1,323 @@
+//! The [`Real`] abstraction over the four supported floating-point formats.
+
+use crate::{ScalarType, BF16, F16};
+use std::fmt::{Debug, Display};
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A floating-point scalar the blazr codec can compute in.
+///
+/// Implemented for [`f64`], [`f32`], [`F16`], and [`BF16`]. All codec
+/// arithmetic (orthonormal transforms, binning, compressed-space
+/// operations) is generic over `Real`, so the precision chosen in the
+/// paper's "data type conversion" step governs *every* subsequent rounding
+/// — which is what makes the Fig. 5 precision sweep meaningful.
+pub trait Real:
+    Copy
+    + PartialOrd
+    + PartialEq
+    + Debug
+    + Display
+    + Default
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+{
+    /// Rounds an `f64` into this format.
+    fn from_f64(x: f64) -> Self;
+    /// Widens to `f64` (exact for every format here; for dual numbers,
+    /// drops the derivative part).
+    fn to_f64(self) -> f64;
+
+    /// Additive identity.
+    fn zero() -> Self {
+        Self::from_f64(0.0)
+    }
+    /// Multiplicative identity.
+    fn one() -> Self {
+        Self::from_f64(1.0)
+    }
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// True if NaN.
+    fn is_nan(self) -> bool;
+    /// True if neither Inf nor NaN.
+    fn is_finite(self) -> bool;
+    /// The larger of two values (returns `other` on NaN self, like IEEE maxNum).
+    fn max_val(self, other: Self) -> Self {
+        if self.is_nan() {
+            other
+        } else if other.is_nan() || self >= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// The smaller of two values.
+    fn min_val(self, other: Self) -> Self {
+        if self.is_nan() {
+            other
+        } else if other.is_nan() || self <= other {
+            self
+        } else {
+            other
+        }
+    }
+    /// Natural exponential (used by the softmax in the approximate
+    /// Wasserstein distance). Computed through `f64` and rounded back.
+    fn exp(self) -> Self {
+        Self::from_f64(self.to_f64().exp())
+    }
+}
+
+/// A [`Real`] with a fixed-width bit representation, usable as the stored
+/// scale type of a compressed array.
+///
+/// Every IEEE-style format implements this; the forward-mode dual numbers
+/// in [`crate::Dual`] deliberately do *not* — they exist to differentiate
+/// through computations, not to be serialized.
+pub trait StorableReal: Real {
+    /// The runtime tag for this format.
+    const TYPE: ScalarType;
+    /// Bit width of the stored representation.
+    const BITS: u32;
+
+    /// Raw bits, zero-extended to 64 — used by the bit-exact serializer.
+    fn to_bits_u64(self) -> u64;
+    /// Reconstructs from raw bits (low `BITS` bits).
+    fn from_bits_u64(bits: u64) -> Self;
+}
+
+impl Real for f64 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f64::sqrt(self)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f64::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f64::is_finite(self)
+    }
+}
+
+impl StorableReal for f64 {
+    const TYPE: ScalarType = ScalarType::F64;
+    const BITS: u32 = 64;
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f64::from_bits(bits)
+    }
+}
+
+impl Real for f32 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        f32::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        f32::sqrt(self)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        f32::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        f32::is_finite(self)
+    }
+}
+
+impl StorableReal for f32 {
+    const TYPE: ScalarType = ScalarType::F32;
+    const BITS: u32 = 32;
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        f32::from_bits(bits as u32)
+    }
+}
+
+impl Real for F16 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        F16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        F16::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        F16::sqrt(self)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        F16::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        F16::is_finite(self)
+    }
+}
+
+impl StorableReal for F16 {
+    const TYPE: ScalarType = ScalarType::F16;
+    const BITS: u32 = 16;
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        F16::from_bits(bits as u16)
+    }
+}
+
+impl Real for BF16 {
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        BF16::from_f64(x)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        BF16::to_f64(self)
+    }
+    #[inline]
+    fn abs(self) -> Self {
+        BF16::abs(self)
+    }
+    #[inline]
+    fn sqrt(self) -> Self {
+        BF16::sqrt(self)
+    }
+    #[inline]
+    fn is_nan(self) -> bool {
+        BF16::is_nan(self)
+    }
+    #[inline]
+    fn is_finite(self) -> bool {
+        BF16::is_finite(self)
+    }
+}
+
+impl StorableReal for BF16 {
+    const TYPE: ScalarType = ScalarType::BF16;
+    const BITS: u32 = 16;
+    #[inline]
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+    #[inline]
+    fn from_bits_u64(bits: u64) -> Self {
+        BF16::from_bits(bits as u16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arithmetic_sanity<P: Real>() {
+        let a = P::from_f64(2.0);
+        let b = P::from_f64(0.5);
+        assert_eq!((a + b).to_f64(), 2.5);
+        assert_eq!((a - b).to_f64(), 1.5);
+        assert_eq!((a * b).to_f64(), 1.0);
+        assert_eq!((a / b).to_f64(), 4.0);
+        assert_eq!((-a).to_f64(), -2.0);
+        assert_eq!(a.abs().to_f64(), 2.0);
+        assert_eq!((-a).abs().to_f64(), 2.0);
+        assert_eq!(P::from_f64(4.0).sqrt().to_f64(), 2.0);
+        assert_eq!(P::zero().to_f64(), 0.0);
+        assert_eq!(P::one().to_f64(), 1.0);
+        assert!(P::from_f64(f64::NAN).is_nan());
+        assert!(a.is_finite());
+        assert_eq!(a.max_val(b).to_f64(), 2.0);
+        assert_eq!(a.min_val(b).to_f64(), 0.5);
+    }
+
+    #[test]
+    fn all_formats_are_sane() {
+        arithmetic_sanity::<f64>();
+        arithmetic_sanity::<f32>();
+        arithmetic_sanity::<F16>();
+        arithmetic_sanity::<BF16>();
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        for v in [-1.25, 0.0, 3.5, 1e4] {
+            assert_eq!(f64::from_bits_u64(f64::from_f64(v).to_bits_u64()), v);
+            assert_eq!(f32::from_bits_u64(f32::from_f64(v).to_bits_u64()), v as f32);
+            let h = F16::from_f64(v);
+            assert_eq!(F16::from_bits_u64(h.to_bits_u64()).to_bits(), h.to_bits());
+            let b = BF16::from_f64(v);
+            assert_eq!(BF16::from_bits_u64(b.to_bits_u64()).to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn max_val_ignores_nan_lhs() {
+        let n = f64::NAN;
+        assert_eq!(n.max_val(3.0), 3.0);
+        assert_eq!(3.0f64.max_val(n), 3.0);
+    }
+
+    #[test]
+    fn exp_matches_f64_for_wide_types() {
+        assert!((1.0f64.exp() - std::f64::consts::E).abs() < 1e-15);
+        let h = F16::from_f64(1.0).exp();
+        assert!((h.to_f64() - std::f64::consts::E).abs() < 2e-3);
+    }
+
+    #[test]
+    fn type_tags_line_up() {
+        assert_eq!(<f64 as StorableReal>::TYPE, ScalarType::F64);
+        assert_eq!(<f32 as StorableReal>::TYPE, ScalarType::F32);
+        assert_eq!(<F16 as StorableReal>::TYPE, ScalarType::F16);
+        assert_eq!(<BF16 as StorableReal>::TYPE, ScalarType::BF16);
+        assert_eq!(<F16 as StorableReal>::BITS, 16);
+        assert_eq!(<BF16 as StorableReal>::BITS, 16);
+    }
+}

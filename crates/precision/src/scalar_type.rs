@@ -1,0 +1,155 @@
+//! Runtime tags for the supported floating-point formats.
+
+use crate::{BF16, F16};
+
+/// The floating-point format used for the compressor's internal
+/// representation (paper §III-A(a): `bfloat16`, `float16`, `float32`,
+/// `float64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScalarType {
+    /// bfloat16: 8 exponent bits, 7 significand bits.
+    BF16,
+    /// IEEE binary16: 5 exponent bits, 10 significand bits.
+    F16,
+    /// IEEE binary32.
+    F32,
+    /// IEEE binary64.
+    F64,
+}
+
+impl ScalarType {
+    /// All variants, in serialization-tag order.
+    pub const ALL: [ScalarType; 4] = [
+        ScalarType::BF16,
+        ScalarType::F16,
+        ScalarType::F32,
+        ScalarType::F64,
+    ];
+
+    /// Storage width in bits (the `f` of the paper's §IV-C accounting).
+    pub fn bits(self) -> u32 {
+        match self {
+            ScalarType::BF16 | ScalarType::F16 => 16,
+            ScalarType::F32 => 32,
+            ScalarType::F64 => 64,
+        }
+    }
+
+    /// Human-readable name matching the paper's legends.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScalarType::BF16 => "bfloat16",
+            ScalarType::F16 => "float16",
+            ScalarType::F32 => "float32",
+            ScalarType::F64 => "float64",
+        }
+    }
+
+    /// 2-bit serialization tag (paper §IV-C: "the floating point and
+    /// integer types, specified in 4 bits" — 2 bits each).
+    pub fn tag(self) -> u8 {
+        match self {
+            ScalarType::BF16 => 0,
+            ScalarType::F16 => 1,
+            ScalarType::F32 => 2,
+            ScalarType::F64 => 3,
+        }
+    }
+
+    /// Inverse of [`ScalarType::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(ScalarType::BF16),
+            1 => Some(ScalarType::F16),
+            2 => Some(ScalarType::F32),
+            3 => Some(ScalarType::F64),
+            _ => None,
+        }
+    }
+
+    /// Rounds a value through this format and back to `f64` — the "data
+    /// type conversion" loss of the compression pipeline's first step.
+    pub fn round_f64(self, x: f64) -> f64 {
+        match self {
+            ScalarType::BF16 => BF16::from_f64(x).to_f64(),
+            ScalarType::F16 => F16::from_f64(x).to_f64(),
+            ScalarType::F32 => x as f32 as f64,
+            ScalarType::F64 => x,
+        }
+    }
+
+    /// Machine epsilon of the format (ulp of 1.0).
+    pub fn epsilon(self) -> f64 {
+        match self {
+            ScalarType::BF16 => 2f64.powi(-7),
+            ScalarType::F16 => 2f64.powi(-10),
+            ScalarType::F32 => f32::EPSILON as f64,
+            ScalarType::F64 => f64::EPSILON,
+        }
+    }
+
+    /// Largest finite value of the format.
+    pub fn max_finite(self) -> f64 {
+        match self {
+            ScalarType::BF16 => BF16::MAX.to_f64(),
+            ScalarType::F16 => F16::MAX.to_f64(),
+            ScalarType::F32 => f32::MAX as f64,
+            ScalarType::F64 => f64::MAX,
+        }
+    }
+}
+
+impl std::fmt::Display for ScalarType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_roundtrip() {
+        for t in ScalarType::ALL {
+            assert_eq!(ScalarType::from_tag(t.tag()), Some(t));
+        }
+        assert_eq!(ScalarType::from_tag(4), None);
+    }
+
+    #[test]
+    fn bits_match_formats() {
+        assert_eq!(ScalarType::BF16.bits(), 16);
+        assert_eq!(ScalarType::F16.bits(), 16);
+        assert_eq!(ScalarType::F32.bits(), 32);
+        assert_eq!(ScalarType::F64.bits(), 64);
+    }
+
+    #[test]
+    fn round_f64_is_idempotent() {
+        for t in ScalarType::ALL {
+            for v in [0.1, -3.75, 1234.5, 1e-5] {
+                let once = t.round_f64(v);
+                assert_eq!(t.round_f64(once), once, "{t} {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn rounding_loss_ordering() {
+        // Coarser formats lose at least as much as finer ones on this value.
+        let v = std::f64::consts::PI;
+        let e16 = (ScalarType::F16.round_f64(v) - v).abs();
+        let ebf = (ScalarType::BF16.round_f64(v) - v).abs();
+        let e32 = (ScalarType::F32.round_f64(v) - v).abs();
+        assert!(ebf >= e16); // bf16 has fewer significand bits than f16
+        assert!(e16 > e32);
+        assert_eq!(ScalarType::F64.round_f64(v), v);
+    }
+
+    #[test]
+    fn max_finite_ordering() {
+        assert!(ScalarType::F16.max_finite() < ScalarType::BF16.max_finite());
+        assert!(ScalarType::BF16.max_finite() <= ScalarType::F32.max_finite());
+    }
+}

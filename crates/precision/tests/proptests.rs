@@ -1,0 +1,127 @@
+//! Property-based tests for the software float formats: ordering,
+//! rounding, and error bounds that must hold for arbitrary inputs.
+
+use blazr_precision::{Dual, Real, BF16, F16};
+use proptest::prelude::*;
+
+/// Finite f32 values across the f16-relevant range.
+fn f16_range() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -70000.0f32..70000.0,
+        -1.0f32..1.0,
+        -1e-6f32..1e-6,
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Conversion is monotone: a ≤ b ⇒ f16(a) ≤ f16(b).
+    #[test]
+    fn f16_conversion_is_monotone(a in f16_range(), b in f16_range()) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let (flo, fhi) = (F16::from_f32(lo), F16::from_f32(hi));
+        prop_assert!(flo <= fhi, "{lo} -> {flo}, {hi} -> {fhi}");
+    }
+
+    /// Rounding error is at most half a ulp for in-range normal values.
+    #[test]
+    fn f16_rounding_error_is_half_ulp(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x);
+        prop_assume!(h.is_finite());
+        let back = h.to_f32();
+        // ulp at |x|: exponent of x, minus 10 significand bits.
+        let mag = x.abs().max(f32::from_bits(0x0400 << 13)); // min normal f16
+        let exp = mag.log2().floor() as i32;
+        let ulp = 2f32.powi(exp - 10);
+        prop_assert!((back - x).abs() <= ulp / 2.0 * 1.0001,
+            "x={x} back={back} ulp={ulp}");
+    }
+
+    /// Roundtrip through f64 is the identity on f16 values.
+    #[test]
+    fn f16_f64_roundtrip_identity(bits in 0u16..0x7C00) {
+        let h = F16::from_bits(bits);
+        prop_assert_eq!(F16::from_f64(h.to_f64()).to_bits(), bits);
+    }
+
+    /// bf16 conversion is monotone.
+    #[test]
+    fn bf16_conversion_is_monotone(a in -1e30f32..1e30, b in -1e30f32..1e30) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(BF16::from_f32(lo) <= BF16::from_f32(hi));
+    }
+
+    /// bf16 relative rounding error is bounded by 2^-8 for normal values.
+    #[test]
+    fn bf16_relative_error_bound(x in 1e-30f32..1e30) {
+        let b = BF16::from_f32(x);
+        prop_assume!(b.is_finite());
+        let rel = ((b.to_f32() - x) / x).abs();
+        prop_assert!(rel <= 2f32.powi(-8), "x={x} rel={rel}");
+    }
+
+    /// Negation is exact (sign-bit flip) in both 16-bit formats.
+    #[test]
+    fn negation_is_exact(x in f16_range()) {
+        prop_assert_eq!((-F16::from_f32(x)).to_f32(), -(F16::from_f32(x).to_f32()));
+        prop_assert_eq!((-BF16::from_f32(x)).to_f32(), -(BF16::from_f32(x).to_f32()));
+    }
+
+    /// f16 addition is commutative and has 0 as identity.
+    #[test]
+    fn f16_addition_algebra(a in f16_range(), b in f16_range()) {
+        let (fa, fb) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!((fa + fb).to_bits(), (fb + fa).to_bits());
+        let z = F16::from_f32(0.0);
+        prop_assert_eq!((fa + z).to_f32(), fa.to_f32());
+    }
+
+    /// f16 has strictly coarser granularity than f32: converting can only
+    /// reduce the number of distinct values.
+    #[test]
+    fn f16_is_a_projection(x in f16_range()) {
+        let once = F16::from_f32(x);
+        let twice = F16::from_f32(once.to_f32());
+        prop_assert_eq!(once.to_bits(), twice.to_bits());
+    }
+
+    /// Dual-number arithmetic satisfies the linearity of differentiation:
+    /// d(a·f + b·g) = a·df + b·dg.
+    #[test]
+    fn dual_linearity(v in -100.0f64..100.0, df in -10.0f64..10.0,
+                      dg in -10.0f64..10.0, a in -5.0f64..5.0, b in -5.0f64..5.0) {
+        let f = Dual::with_deriv(v, df);
+        let g = Dual::with_deriv(v * 0.5, dg);
+        let lhs = Dual::constant(a) * f + Dual::constant(b) * g;
+        prop_assert!((lhs.deriv - (a * df + b * dg)).abs() < 1e-9);
+    }
+
+    /// Dual product rule against the analytic formula.
+    #[test]
+    fn dual_product_rule(v in -50.0f64..50.0, w in -50.0f64..50.0,
+                         dv in -4.0f64..4.0, dw in -4.0f64..4.0) {
+        let f = Dual::with_deriv(v, dv);
+        let g = Dual::with_deriv(w, dw);
+        let p = f * g;
+        prop_assert!((p.deriv - (dv * w + v * dw)).abs() < 1e-9 * (1.0 + v.abs() + w.abs()));
+    }
+
+    /// `Real::max_val`/`min_val` bracket their arguments for all formats.
+    #[test]
+    fn min_max_bracket(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
+        fn check<P: Real>(a: f64, b: f64) {
+            let (pa, pb) = (P::from_f64(a), P::from_f64(b));
+            let hi = pa.max_val(pb);
+            let lo = pa.min_val(pb);
+            assert!(hi >= pa && hi >= pb || hi.to_f64() >= pa.to_f64().max(pb.to_f64()) - 1e-9);
+            assert!(lo <= pa && lo <= pb || lo.to_f64() <= pa.to_f64().min(pb.to_f64()) + 1e-9);
+        }
+        check::<f64>(a, b);
+        check::<f32>(a, b);
+        check::<F16>(a, b);
+        check::<BF16>(a, b);
+    }
+}

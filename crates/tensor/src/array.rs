@@ -1,0 +1,350 @@
+//! Dense row-major n-dimensional arrays.
+
+use crate::shape::{num_elements, ravel, strides_row_major};
+use blazr_precision::Real;
+use rayon::prelude::*;
+
+/// Below this element count, element-wise kernels run sequentially; at or
+/// above it they use Rayon. Keeps tiny arrays (the common case in block
+/// codecs) away from thread-pool overhead.
+const PAR_THRESHOLD: usize = 1 << 15;
+
+/// A dense, row-major, arbitrary-dimensional array.
+///
+/// The workspace's tensor type: the compressor consumes and produces
+/// `NdArray<f64>` (or any [`Real`]), and the reference (uncompressed-space)
+/// operations in [`crate::reduce`] operate on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray<T> {
+    shape: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Copy> NdArray<T> {
+    /// Creates an array from a shape and existing data (row-major).
+    ///
+    /// Panics if `data.len() != Π shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            num_elements(&shape),
+            "data length does not match shape"
+        );
+        Self { shape, data }
+    }
+
+    /// Creates an array filled with `value`.
+    pub fn full(shape: Vec<usize>, value: T) -> Self {
+        let n = num_elements(&shape);
+        Self {
+            shape,
+            data: vec![value; n],
+        }
+    }
+
+    /// Creates an array by evaluating `f` at every multi-index.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(&[usize]) -> T) -> Self {
+        let n = num_elements(&shape);
+        let mut data = Vec::with_capacity(n);
+        let mut idx = vec![0usize; shape.len()];
+        for _ in 0..n {
+            data.push(f(&idx));
+            crate::shape::advance(&mut idx, &shape);
+        }
+        Self { shape, data }
+    }
+
+    /// The array's shape `s`.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions `d = |s|`.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements `Πs`.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable access to the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consumes the array, returning its data.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, idx: &[usize]) -> T {
+        self.data[ravel(idx, &self.shape)]
+    }
+
+    /// Sets the element at a multi-index.
+    pub fn set(&mut self, idx: &[usize], value: T) {
+        let off = ravel(idx, &self.shape);
+        self.data[off] = value;
+    }
+
+    /// Row-major strides.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_row_major(&self.shape)
+    }
+
+    /// Applies `f` to every element, producing a new array of the same shape.
+    pub fn map<U: Copy + Send + Sync>(&self, f: impl Fn(T) -> U + Send + Sync) -> NdArray<U>
+    where
+        T: Send + Sync,
+    {
+        let data = if self.data.len() >= PAR_THRESHOLD {
+            self.data.par_iter().map(|&x| f(x)).collect()
+        } else {
+            self.data.iter().map(|&x| f(x)).collect()
+        };
+        NdArray {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Combines two same-shaped arrays element-wise.
+    pub fn zip_map<U: Copy + Send + Sync, V: Copy + Send + Sync>(
+        &self,
+        other: &NdArray<U>,
+        f: impl Fn(T, U) -> V + Send + Sync,
+    ) -> NdArray<V>
+    where
+        T: Send + Sync,
+    {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        let data = if self.data.len() >= PAR_THRESHOLD {
+            self.data
+                .par_iter()
+                .zip(other.data.par_iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect()
+        } else {
+            self.data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect()
+        };
+        NdArray {
+            shape: self.shape.clone(),
+            data,
+        }
+    }
+
+    /// Reinterprets the array with a new shape of equal element count.
+    pub fn reshape(mut self, shape: Vec<usize>) -> Self {
+        assert_eq!(
+            num_elements(&shape),
+            self.data.len(),
+            "reshape changes element count"
+        );
+        self.shape = shape;
+        self
+    }
+
+    /// Returns the leading-corner sub-array of `new_shape` (each extent
+    /// must not exceed the current one). The paper's SSIM experiment crops
+    /// one image of each pair to match shapes (§V-B).
+    pub fn crop(&self, new_shape: &[usize]) -> Self {
+        assert_eq!(new_shape.len(), self.ndim(), "dimensionality mismatch");
+        for (k, (&n, &s)) in new_shape.iter().zip(&self.shape).enumerate() {
+            assert!(n <= s, "crop extent {n} exceeds {s} in dimension {k}");
+        }
+        Self::from_fn(new_shape.to_vec(), |idx| self.get(idx))
+    }
+
+    /// Returns a copy grown to `new_shape` (each extent must be at least
+    /// the current one), filling new positions with `fill` — the padding
+    /// alternative for shape-matching.
+    pub fn pad_to(&self, new_shape: &[usize], fill: T) -> Self {
+        assert_eq!(new_shape.len(), self.ndim(), "dimensionality mismatch");
+        for (k, (&n, &s)) in new_shape.iter().zip(&self.shape).enumerate() {
+            assert!(n >= s, "pad extent {n} below {s} in dimension {k}");
+        }
+        Self::from_fn(new_shape.to_vec(), |idx| {
+            if idx.iter().zip(&self.shape).all(|(&i, &s)| i < s) {
+                self.get(idx)
+            } else {
+                fill
+            }
+        })
+    }
+}
+
+impl<T: Real> NdArray<T> {
+    /// Creates a zero-filled array.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        Self::full(shape, T::zero())
+    }
+
+    /// Converts every element to another [`Real`] format (the paper's
+    /// "data type conversion" step).
+    pub fn convert<U: Real>(&self) -> NdArray<U> {
+        self.map(|x| U::from_f64(x.to_f64()))
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product `X ⊙ Y`.
+    pub fn hadamard(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Element-wise quotient `X ⊘ Y`.
+    pub fn divide(&self, other: &Self) -> Self {
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Self {
+        self.map(|a| -a)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn add_scalar(&self, x: T) -> Self {
+        self.map(|a| a + x)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn mul_scalar(&self, x: T) -> Self {
+        self.map(|a| a * x)
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Self {
+        self.map(|a| a.abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_matches_indices() {
+        let a = NdArray::from_fn(vec![2, 3], |idx| (idx[0] * 10 + idx[1]) as f64);
+        assert_eq!(a.get(&[0, 0]), 0.0);
+        assert_eq!(a.get(&[0, 2]), 2.0);
+        assert_eq!(a.get(&[1, 1]), 11.0);
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 2.0, 10.0, 11.0, 12.0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut a = NdArray::<f64>::zeros(vec![3, 4]);
+        a.set(&[2, 3], 7.5);
+        assert_eq!(a.get(&[2, 3]), 7.5);
+        assert_eq!(a.get(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "data length does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = NdArray::from_vec(vec![2, 2], vec![1.0f64; 3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = NdArray::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]);
+        let b = NdArray::from_vec(vec![4], vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(a.add(&b).as_slice(), &[11.0, 22.0, 33.0, 44.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[9.0, 18.0, 27.0, 36.0]);
+        assert_eq!(a.hadamard(&b).as_slice(), &[10.0, 40.0, 90.0, 160.0]);
+        assert_eq!(b.divide(&a).as_slice(), &[10.0, 10.0, 10.0, 10.0]);
+        assert_eq!(a.neg().as_slice(), &[-1.0, -2.0, -3.0, -4.0]);
+        assert_eq!(a.add_scalar(0.5).as_slice(), &[1.5, 2.5, 3.5, 4.5]);
+        assert_eq!(a.mul_scalar(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn map_handles_parallel_threshold() {
+        // Exercise both the sequential and parallel paths.
+        let small = NdArray::from_fn(vec![100], |i| i[0] as f64);
+        let big = NdArray::from_fn(vec![40_000], |i| i[0] as f64);
+        assert_eq!(small.map(|x| x * 2.0).get(&[7]), 14.0);
+        assert_eq!(big.map(|x| x * 2.0).get(&[39_999]), 79_998.0);
+    }
+
+    #[test]
+    fn conversion_rounds() {
+        use blazr_precision::F16;
+        let a = NdArray::from_vec(vec![2], vec![1.0f64, std::f64::consts::PI]);
+        let h: NdArray<F16> = a.convert();
+        assert_eq!(h.get(&[0]).to_f64(), 1.0);
+        let pi16 = h.get(&[1]).to_f64();
+        assert!((pi16 - std::f64::consts::PI).abs() < 1e-3);
+        assert_ne!(pi16, std::f64::consts::PI);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = NdArray::from_fn(vec![2, 6], |idx| (idx[0] * 6 + idx[1]) as f64);
+        let b = a.clone().reshape(vec![3, 4]);
+        assert_eq!(b.shape(), &[3, 4]);
+        assert_eq!(b.as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn crop_takes_leading_corner() {
+        let a = NdArray::from_fn(vec![4, 4], |i| (i[0] * 4 + i[1]) as f64);
+        let c = a.crop(&[2, 3]);
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[0.0, 1.0, 2.0, 4.0, 5.0, 6.0]);
+        // Cropping to the same shape is the identity.
+        assert_eq!(a.crop(&[4, 4]), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "crop extent")]
+    fn crop_rejects_growth() {
+        let a = NdArray::<f64>::zeros(vec![2, 2]);
+        let _ = a.crop(&[3, 2]);
+    }
+
+    #[test]
+    fn pad_fills_new_positions() {
+        let a = NdArray::from_fn(vec![2, 2], |i| (i[0] * 2 + i[1]) as f64 + 1.0);
+        let p = a.pad_to(&[3, 3], 0.0);
+        assert_eq!(p.shape(), &[3, 3]);
+        assert_eq!(p.get(&[0, 0]), 1.0);
+        assert_eq!(p.get(&[1, 1]), 4.0);
+        assert_eq!(p.get(&[2, 2]), 0.0);
+        assert_eq!(p.get(&[0, 2]), 0.0);
+        // pad then crop is the identity.
+        assert_eq!(p.crop(&[2, 2]), a);
+    }
+
+    #[test]
+    fn zero_dimensional_array_is_a_scalar() {
+        let a = NdArray::from_vec(vec![], vec![42.0f64]);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.get(&[]), 42.0);
+    }
+}

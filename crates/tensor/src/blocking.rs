@@ -1,0 +1,346 @@
+//! The paper's blocking step (§III-A(b)) and its inverse.
+//!
+//! An input array shaped `s` is zero-padded so each extent is a multiple of
+//! the block shape `i`, then partitioned into `b = ⌈s ⊘ i⌉` blocks, each
+//! stored contiguously (block-major) so later pipeline stages can process
+//! blocks independently and in parallel. Blocking is the only exactly
+//! invertible step of the compression pipeline.
+
+use crate::shape::{advance, ceil_div, num_elements, unravel};
+use crate::NdArray;
+use rayon::prelude::*;
+
+/// Minimum number of blocks before partitioning fans out to Rayon.
+const PAR_BLOCKS: usize = 64;
+
+/// A block-partitioned array: `num_blocks` blocks of shape `block_shape`,
+/// each stored contiguously in row-major order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Blocked<T> {
+    num_blocks: Vec<usize>,
+    block_shape: Vec<usize>,
+    block_len: usize,
+    data: Vec<T>,
+}
+
+impl<T: Copy + Default + Send + Sync> Blocked<T> {
+    /// Partitions `array` into blocks of `block_shape`, zero-padding
+    /// (default-padding) out-of-bounds regions.
+    pub fn partition(array: &NdArray<T>, block_shape: &[usize]) -> Self {
+        assert_eq!(
+            array.ndim(),
+            block_shape.len(),
+            "block shape dimensionality must match array"
+        );
+        let s = array.shape().to_vec();
+        let num_blocks = ceil_div(&s, block_shape);
+        let block_len = num_elements(block_shape);
+        let n_blocks = num_elements(&num_blocks);
+        let mut data = vec![T::default(); n_blocks * block_len];
+
+        let src = array.as_slice();
+        let gather = |kb: usize, out: &mut [T]| {
+            gather_block(src, &s, &num_blocks, block_shape, kb, out);
+        };
+        if n_blocks >= PAR_BLOCKS {
+            data.par_chunks_mut(block_len)
+                .enumerate()
+                .for_each(|(kb, chunk)| gather(kb, chunk));
+        } else {
+            for (kb, chunk) in data.chunks_mut(block_len).enumerate() {
+                gather(kb, chunk);
+            }
+        }
+        Self {
+            num_blocks,
+            block_shape: block_shape.to_vec(),
+            block_len,
+            data,
+        }
+    }
+
+    /// Creates a zero-filled blocked container with the given geometry.
+    pub fn zeros(num_blocks: Vec<usize>, block_shape: Vec<usize>) -> Self {
+        let block_len = num_elements(&block_shape);
+        let n = num_elements(&num_blocks) * block_len;
+        Self {
+            num_blocks,
+            block_shape,
+            block_len,
+            data: vec![T::default(); n],
+        }
+    }
+
+    /// Merges blocks back into an array of shape `orig_shape`, cropping any
+    /// padding. Inverse of [`Blocked::partition`].
+    pub fn merge(&self, orig_shape: &[usize]) -> NdArray<T> {
+        assert_eq!(orig_shape.len(), self.block_shape.len());
+        assert_eq!(
+            ceil_div(orig_shape, &self.block_shape),
+            self.num_blocks,
+            "original shape inconsistent with block arrangement"
+        );
+        let mut out = NdArray::full(orig_shape.to_vec(), T::default());
+        let dst = out.as_mut_slice();
+        for (kb, block) in self.data.chunks(self.block_len).enumerate() {
+            scatter_block(dst, orig_shape, &self.num_blocks, &self.block_shape, kb, block);
+        }
+        out
+    }
+
+    /// The block arrangement `b = ⌈s ⊘ i⌉`.
+    pub fn num_blocks(&self) -> &[usize] {
+        &self.num_blocks
+    }
+
+    /// The block shape `i`.
+    pub fn block_shape(&self) -> &[usize] {
+        &self.block_shape
+    }
+
+    /// Elements per block (`Πi`).
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// Total number of blocks (`Πb`).
+    pub fn block_count(&self) -> usize {
+        if self.block_len == 0 {
+            0
+        } else {
+            self.data.len() / self.block_len
+        }
+    }
+
+    /// Borrow of block `kb` (flat block index, row-major over `b`).
+    pub fn block(&self, kb: usize) -> &[T] {
+        &self.data[kb * self.block_len..(kb + 1) * self.block_len]
+    }
+
+    /// Mutable borrow of block `kb`.
+    pub fn block_mut(&mut self, kb: usize) -> &mut [T] {
+        &mut self.data[kb * self.block_len..(kb + 1) * self.block_len]
+    }
+
+    /// Iterator over blocks.
+    pub fn blocks(&self) -> impl Iterator<Item = &[T]> {
+        self.data.chunks(self.block_len)
+    }
+
+    /// Parallel iterator over mutable blocks.
+    pub fn par_blocks_mut(&mut self) -> rayon::slice::ChunksMut<'_, T> {
+        self.data.par_chunks_mut(self.block_len)
+    }
+
+    /// Parallel iterator over blocks.
+    pub fn par_blocks(&self) -> rayon::slice::Chunks<'_, T> {
+        self.data.par_chunks(self.block_len)
+    }
+
+    /// The raw block-major buffer.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Mutable raw block-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+}
+
+/// Copies one block out of `src` (shape `s`), default-filling padding.
+fn gather_block<T: Copy + Default>(
+    src: &[T],
+    s: &[usize],
+    num_blocks: &[usize],
+    bs: &[usize],
+    kb: usize,
+    out: &mut [T],
+) {
+    let d = s.len();
+    if d == 0 {
+        out[0] = src[0];
+        return;
+    }
+    let kidx = unravel(kb, num_blocks);
+    let base: Vec<usize> = kidx.iter().zip(bs).map(|(&k, &b)| k * b).collect();
+    let strides = crate::shape::strides_row_major(s);
+
+    // Iterate over the block's rows (all dims but the innermost), copying
+    // contiguous runs along the innermost dimension.
+    let row_dims = &bs[..d - 1];
+    let inner = bs[d - 1];
+    let valid_inner = s[d - 1].saturating_sub(base[d - 1]).min(inner);
+    let mut t = vec![0usize; d - 1];
+    let mut out_off = 0;
+    loop {
+        let mut in_bounds = true;
+        let mut src_off = base[d - 1];
+        for k in 0..d - 1 {
+            let pos = base[k] + t[k];
+            if pos >= s[k] {
+                in_bounds = false;
+                break;
+            }
+            src_off += pos * strides[k];
+        }
+        if in_bounds && valid_inner > 0 {
+            out[out_off..out_off + valid_inner]
+                .copy_from_slice(&src[src_off..src_off + valid_inner]);
+            for v in &mut out[out_off + valid_inner..out_off + inner] {
+                *v = T::default();
+            }
+        } else {
+            for v in &mut out[out_off..out_off + inner] {
+                *v = T::default();
+            }
+        }
+        out_off += inner;
+        if row_dims.is_empty() || !advance(&mut t, row_dims) {
+            break;
+        }
+    }
+}
+
+/// Writes one block back into `dst` (shape `s`), skipping padding.
+fn scatter_block<T: Copy>(
+    dst: &mut [T],
+    s: &[usize],
+    num_blocks: &[usize],
+    bs: &[usize],
+    kb: usize,
+    block: &[T],
+) {
+    let d = s.len();
+    if d == 0 {
+        dst[0] = block[0];
+        return;
+    }
+    let kidx = unravel(kb, num_blocks);
+    let base: Vec<usize> = kidx.iter().zip(bs).map(|(&k, &b)| k * b).collect();
+    let strides = crate::shape::strides_row_major(s);
+
+    let row_dims = &bs[..d - 1];
+    let inner = bs[d - 1];
+    let valid_inner = s[d - 1].saturating_sub(base[d - 1]).min(inner);
+    let mut t = vec![0usize; d - 1];
+    let mut blk_off = 0;
+    loop {
+        let mut in_bounds = true;
+        let mut dst_off = base[d - 1];
+        for k in 0..d - 1 {
+            let pos = base[k] + t[k];
+            if pos >= s[k] {
+                in_bounds = false;
+                break;
+            }
+            dst_off += pos * strides[k];
+        }
+        if in_bounds && valid_inner > 0 {
+            dst[dst_off..dst_off + valid_inner]
+                .copy_from_slice(&block[blk_off..blk_off + valid_inner]);
+        }
+        blk_off += inner;
+        if row_dims.is_empty() || !advance(&mut t, row_dims) {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::num_elements;
+
+    fn ramp(shape: Vec<usize>) -> NdArray<f64> {
+        let mut c = 0.0;
+        NdArray::from_fn(shape, |_| {
+            c += 1.0;
+            c
+        })
+    }
+
+    #[test]
+    fn partition_merge_identity_exact_fit() {
+        let a = ramp(vec![8, 8]);
+        let blocked = Blocked::partition(&a, &[4, 4]);
+        assert_eq!(blocked.block_count(), 4);
+        assert_eq!(blocked.merge(&[8, 8]), a);
+    }
+
+    #[test]
+    fn partition_merge_identity_with_padding() {
+        for shape in [vec![5], vec![3, 7], vec![3, 5, 6], vec![2, 3, 4, 5]] {
+            let bs: Vec<usize> = shape.iter().map(|_| 4).collect();
+            let a = ramp(shape.clone());
+            let blocked = Blocked::partition(&a, &bs);
+            assert_eq!(blocked.merge(&shape), a, "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn padding_is_zero() {
+        let a = NdArray::from_vec(vec![3], vec![1.0, 2.0, 3.0]);
+        let blocked = Blocked::partition(&a, &[4]);
+        assert_eq!(blocked.block(0), &[1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn block_contents_are_row_major_subarrays() {
+        // 4×4 array into 2×2 blocks: block (0,1) holds columns 2..4 of rows 0..2.
+        let a = NdArray::from_fn(vec![4, 4], |i| (i[0] * 4 + i[1]) as f64);
+        let blocked = Blocked::partition(&a, &[2, 2]);
+        assert_eq!(blocked.num_blocks(), &[2, 2]);
+        assert_eq!(blocked.block(0), &[0.0, 1.0, 4.0, 5.0]);
+        assert_eq!(blocked.block(1), &[2.0, 3.0, 6.0, 7.0]);
+        assert_eq!(blocked.block(2), &[8.0, 9.0, 12.0, 13.0]);
+        assert_eq!(blocked.block(3), &[10.0, 11.0, 14.0, 15.0]);
+    }
+
+    #[test]
+    fn paper_reshape_example() {
+        // §III-A(b): input (3,224,224), blocks (4,4,4) → blocked (1,56,56,4,4,4).
+        let a = NdArray::<f64>::zeros(vec![3, 224, 224]);
+        let blocked = Blocked::partition(&a, &[4, 4, 4]);
+        assert_eq!(blocked.num_blocks(), &[1, 56, 56]);
+        assert_eq!(blocked.block_len(), 64);
+        assert_eq!(
+            blocked.block_count() * blocked.block_len(),
+            num_elements(&[1, 56, 56, 4, 4, 4])
+        );
+    }
+
+    #[test]
+    fn non_hypercubic_blocks() {
+        let a = ramp(vec![6, 10]);
+        let blocked = Blocked::partition(&a, &[2, 8]);
+        assert_eq!(blocked.num_blocks(), &[3, 2]);
+        assert_eq!(blocked.merge(&[6, 10]), a);
+    }
+
+    #[test]
+    fn one_dimensional_blocks() {
+        let a = ramp(vec![10]);
+        let blocked = Blocked::partition(&a, &[4]);
+        assert_eq!(blocked.block_count(), 3);
+        assert_eq!(blocked.block(2), &[9.0, 10.0, 0.0, 0.0]);
+        assert_eq!(blocked.merge(&[10]), a);
+    }
+
+    #[test]
+    fn many_blocks_parallel_path() {
+        // > PAR_BLOCKS blocks to exercise the Rayon branch.
+        let a = ramp(vec![64, 64]);
+        let blocked = Blocked::partition(&a, &[4, 4]);
+        assert_eq!(blocked.block_count(), 256);
+        assert_eq!(blocked.merge(&[64, 64]), a);
+    }
+
+    #[test]
+    fn scalar_array() {
+        let a = NdArray::from_vec(vec![], vec![5.0f64]);
+        let blocked = Blocked::partition(&a, &[]);
+        assert_eq!(blocked.block_count(), 1);
+        assert_eq!(blocked.merge(&[]), a);
+    }
+}

@@ -1,0 +1,154 @@
+//! Shape and index arithmetic for row-major dense arrays.
+//!
+//! Terminology follows the paper's §II-B: an array's *shape* `s` is its
+//! length in each direction; indices are multi-indices `x` with
+//! `offset = Σ x_k · stride_k` in row-major order.
+
+/// Product of all extents — the number of elements (`Πs`).
+pub fn num_elements(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Overflow-checked element count, for validating untrusted shapes (e.g.
+/// deserializers reading attacker-controlled extents).
+pub fn checked_num_elements(shape: &[usize]) -> Option<usize> {
+    shape
+        .iter()
+        .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+}
+
+/// Row-major strides for `shape` (innermost dimension has stride 1).
+pub fn strides_row_major(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1; shape.len()];
+    for k in (0..shape.len().saturating_sub(1)).rev() {
+        strides[k] = strides[k + 1] * shape[k + 1];
+    }
+    strides
+}
+
+/// Element-wise ceiling division of shapes — the paper's `⌈s ⊘ i⌉`, i.e.
+/// the arrangement of blocks `b`.
+pub fn ceil_div(s: &[usize], i: &[usize]) -> Vec<usize> {
+    assert_eq!(s.len(), i.len(), "dimensionality mismatch");
+    s.iter()
+        .zip(i)
+        .map(|(&a, &b)| {
+            assert!(b > 0, "zero block extent");
+            a.div_ceil(b)
+        })
+        .collect()
+}
+
+/// Element-wise product of shapes (`b ⊙ i`, the padded shape).
+pub fn elementwise_mul(a: &[usize], b: &[usize]) -> Vec<usize> {
+    assert_eq!(a.len(), b.len(), "dimensionality mismatch");
+    a.iter().zip(b).map(|(&x, &y)| x * y).collect()
+}
+
+/// Converts a flat row-major offset to a multi-index.
+pub fn unravel(mut offset: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0; shape.len()];
+    for k in (0..shape.len()).rev() {
+        idx[k] = offset % shape[k];
+        offset /= shape[k];
+    }
+    idx
+}
+
+/// Converts a multi-index to a flat row-major offset.
+pub fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    debug_assert_eq!(idx.len(), shape.len());
+    let mut off = 0;
+    for (&i, &s) in idx.iter().zip(shape) {
+        debug_assert!(i < s, "index {i} out of bounds {s}");
+        off = off * s + i;
+    }
+    off
+}
+
+/// Advances a multi-index through `shape` in row-major order.
+///
+/// Returns `false` when iteration wraps past the end. Starting from all
+/// zeros this visits every index exactly once:
+///
+/// ```
+/// use blazr_tensor::shape::advance;
+/// let shape = [2, 3];
+/// let mut idx = vec![0, 0];
+/// let mut count = 1;
+/// while advance(&mut idx, &shape) { count += 1; }
+/// assert_eq!(count, 6);
+/// ```
+pub fn advance(idx: &mut [usize], shape: &[usize]) -> bool {
+    for k in (0..shape.len()).rev() {
+        idx[k] += 1;
+        if idx[k] < shape[k] {
+            return true;
+        }
+        idx[k] = 0;
+    }
+    false
+}
+
+/// True if every extent is a power of two (the paper requires power-of-two
+/// block shapes, §III-A(b)).
+pub fn all_powers_of_two(shape: &[usize]) -> bool {
+    shape.iter().all(|&x| x.is_power_of_two())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_of_3d() {
+        assert_eq!(strides_row_major(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_row_major(&[5]), vec![1]);
+        assert_eq!(strides_row_major(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ceil_div_matches_paper_example() {
+        // (3, 224, 224) with blocks (4, 4, 4) → (1, 56, 56)   [§III-A(b)]
+        assert_eq!(ceil_div(&[3, 224, 224], &[4, 4, 4]), vec![1, 56, 56]);
+        assert_eq!(ceil_div(&[8, 8], &[8, 8]), vec![1, 1]);
+        assert_eq!(ceil_div(&[9, 8], &[8, 8]), vec![2, 1]);
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [3, 4, 5];
+        for off in 0..num_elements(&shape) {
+            let idx = unravel(off, &shape);
+            assert_eq!(ravel(&idx, &shape), off);
+        }
+    }
+
+    #[test]
+    fn advance_visits_in_row_major_order() {
+        let shape = [2, 3];
+        let mut idx = vec![0, 0];
+        let mut seen = vec![idx.clone()];
+        while advance(&mut idx, &shape) {
+            seen.push(idx.clone());
+        }
+        assert_eq!(seen.len(), 6);
+        for (off, idx) in seen.iter().enumerate() {
+            assert_eq!(ravel(idx, &shape), off);
+        }
+    }
+
+    #[test]
+    fn power_of_two_check() {
+        assert!(all_powers_of_two(&[4, 8, 16]));
+        assert!(all_powers_of_two(&[1, 2]));
+        assert!(!all_powers_of_two(&[3, 4]));
+        assert!(!all_powers_of_two(&[0, 4]));
+    }
+
+    #[test]
+    fn num_elements_and_product() {
+        assert_eq!(num_elements(&[3, 224, 224]), 150_528);
+        assert_eq!(num_elements(&[]), 1);
+    }
+}

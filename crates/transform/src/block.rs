@@ -1,0 +1,261 @@
+//! Separable n-dimensional block transforms.
+//!
+//! Applies a 1-D orthonormal basis along every axis of a block — the
+//! Einstein-summation contraction of the paper's §VI-A:
+//! `C[γδ…] = B[αβ…]·H1[αγ]·H2[βδ]·…` — in the precision `P` the codec was
+//! configured with, so low-precision settings accumulate genuine
+//! low-precision rounding.
+
+use crate::{Matrix, TransformKind};
+use blazr_precision::Real;
+
+/// A reusable separable transform for one block shape.
+///
+/// Construction builds (and rounds into `P`) one basis matrix per axis.
+/// [`BlockTransform::forward`] and [`BlockTransform::inverse`] then operate
+/// in place on block-length slices using a caller-provided scratch buffer,
+/// so the per-block hot path allocates nothing.
+#[derive(Debug, Clone)]
+pub struct BlockTransform<P> {
+    shape: Vec<usize>,
+    mats: Vec<Matrix<P>>,
+    block_len: usize,
+}
+
+impl<P: Real> BlockTransform<P> {
+    /// Builds the per-axis matrices for `kind` over `block_shape`.
+    pub fn new(kind: TransformKind, block_shape: &[usize]) -> Self {
+        let mats = block_shape.iter().map(|&n| kind.matrix::<P>(n)).collect();
+        let block_len = block_shape.iter().product();
+        Self {
+            shape: block_shape.to_vec(),
+            mats,
+            block_len,
+        }
+    }
+
+    /// Elements per block.
+    pub fn block_len(&self) -> usize {
+        self.block_len
+    }
+
+    /// The block shape this transform was built for.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Forward transform: data → coefficients, in place.
+    ///
+    /// `scratch` must be at least `block_len` long.
+    pub fn forward(&self, data: &mut [P], scratch: &mut [P]) {
+        self.apply(data, scratch, false);
+    }
+
+    /// Inverse transform: coefficients → data, in place.
+    pub fn inverse(&self, data: &mut [P], scratch: &mut [P]) {
+        self.apply(data, scratch, true);
+    }
+
+    fn apply(&self, data: &mut [P], scratch: &mut [P], inverse: bool) {
+        let d = self.shape.len();
+        assert!(data.len() >= self.block_len, "block buffer too small");
+        assert!(scratch.len() >= self.block_len, "scratch buffer too small");
+        if d == 0 || self.block_len == 0 {
+            return;
+        }
+        let mut in_data = true; // current contents live in `data`
+        for axis in 0..d {
+            let (src, dst): (&[P], &mut [P]) = if in_data {
+                (&data[..self.block_len], &mut scratch[..self.block_len])
+            } else {
+                (&scratch[..self.block_len], &mut data[..self.block_len])
+            };
+            contract_axis(src, dst, &self.shape, axis, &self.mats[axis], inverse);
+            in_data = !in_data;
+        }
+        if !in_data {
+            data[..self.block_len].copy_from_slice(&scratch[..self.block_len]);
+        }
+    }
+}
+
+/// Contracts one axis of `src` against the basis matrix, writing `dst`.
+///
+/// Forward: `dst[…,k,…] = Σ_n src[…,n,…]·H[n][k]` (basis columns).
+/// Inverse: `dst[…,n,…] = Σ_k src[…,k,…]·H[n][k]` (basis rows).
+fn contract_axis<P: Real>(
+    src: &[P],
+    dst: &mut [P],
+    shape: &[usize],
+    axis: usize,
+    mat: &Matrix<P>,
+    inverse: bool,
+) {
+    let n = shape[axis];
+    let outer: usize = shape[..axis].iter().product();
+    let inner: usize = shape[axis + 1..].iter().product();
+    for v in dst.iter_mut() {
+        *v = P::zero();
+    }
+    for o in 0..outer {
+        let base = o * n * inner;
+        for from in 0..n {
+            let src_row = &src[base + from * inner..base + (from + 1) * inner];
+            for to in 0..n {
+                let w = if inverse {
+                    mat.entry(to, from)
+                } else {
+                    mat.entry(from, to)
+                };
+                if w == P::zero() {
+                    continue; // sparse bases (Haar, identity) skip most work
+                }
+                let dst_row = &mut dst[base + to * inner..base + (to + 1) * inner];
+                for (dv, &sv) in dst_row.iter_mut().zip(src_row) {
+                    *dv = *dv + sv * w;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use blazr_precision::F16;
+    use blazr_util::rng::Xoshiro256pp;
+
+    fn random_block(len: usize, seed: u64) -> Vec<f64> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..len).map(|_| rng.uniform_in(-1.0, 1.0)).collect()
+    }
+
+    fn roundtrip_error(kind: TransformKind, shape: &[usize], seed: u64) -> f64 {
+        let t = BlockTransform::<f64>::new(kind, shape);
+        let orig = random_block(t.block_len(), seed);
+        let mut data = orig.clone();
+        let mut scratch = vec![0.0; t.block_len()];
+        t.forward(&mut data, &mut scratch);
+        t.inverse(&mut data, &mut scratch);
+        orig.iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn forward_inverse_identity_dct() {
+        for shape in [vec![4], vec![4, 8], vec![4, 4, 4], vec![2, 4, 8], vec![16, 16]] {
+            let e = roundtrip_error(TransformKind::Dct, &shape, 1);
+            assert!(e < 1e-12, "shape {shape:?} err {e}");
+        }
+    }
+
+    #[test]
+    fn forward_inverse_identity_haar() {
+        for shape in [vec![8], vec![4, 4], vec![2, 8, 4]] {
+            let e = roundtrip_error(TransformKind::Haar, &shape, 2);
+            assert!(e < 1e-12, "shape {shape:?} err {e}");
+        }
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let t = BlockTransform::<f64>::new(TransformKind::Identity, &[4, 4]);
+        let orig = random_block(16, 3);
+        let mut data = orig.clone();
+        let mut scratch = vec![0.0; 16];
+        t.forward(&mut data, &mut scratch);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn parseval_energy_preservation() {
+        // Orthonormality ⇒ Σc² = Σx².
+        let t = BlockTransform::<f64>::new(TransformKind::Dct, &[4, 8]);
+        let orig = random_block(32, 4);
+        let mut data = orig.clone();
+        let mut scratch = vec![0.0; 32];
+        t.forward(&mut data, &mut scratch);
+        let e_in: f64 = orig.iter().map(|x| x * x).sum();
+        let e_out: f64 = data.iter().map(|x| x * x).sum();
+        assert!((e_in - e_out).abs() < 1e-12 * e_in.max(1.0));
+    }
+
+    #[test]
+    fn dot_product_preservation() {
+        // The property §IV-A's operations rely on.
+        let t = BlockTransform::<f64>::new(TransformKind::Dct, &[4, 4, 4]);
+        let a = random_block(64, 5);
+        let b = random_block(64, 6);
+        let mut ca = a.clone();
+        let mut cb = b.clone();
+        let mut scratch = vec![0.0; 64];
+        t.forward(&mut ca, &mut scratch);
+        t.forward(&mut cb, &mut scratch);
+        let dot_raw: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        let dot_coef: f64 = ca.iter().zip(&cb).map(|(x, y)| x * y).sum();
+        assert!((dot_raw - dot_coef).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dc_coefficient_is_scaled_block_mean() {
+        // §IV-A: "the first coefficient in each block is the mean of the
+        // uncompressed block scaled by c = Π√i".
+        for kind in [TransformKind::Dct, TransformKind::Haar] {
+            let shape = [4, 8];
+            let t = BlockTransform::<f64>::new(kind, &shape);
+            let block = random_block(32, 7);
+            let mut data = block.clone();
+            let mut scratch = vec![0.0; 32];
+            t.forward(&mut data, &mut scratch);
+            let mean: f64 = block.iter().sum::<f64>() / 32.0;
+            let c = (4f64).sqrt() * (8f64).sqrt();
+            assert!(
+                (data[0] - mean * c).abs() < 1e-12,
+                "{kind:?}: dc={} expected={}",
+                data[0],
+                mean * c
+            );
+        }
+    }
+
+    #[test]
+    fn low_precision_roundtrip_has_bounded_error() {
+        let t = BlockTransform::<F16>::new(TransformKind::Dct, &[8, 8]);
+        let orig = random_block(64, 8);
+        let mut data: Vec<F16> = orig.iter().map(|&x| F16::from_f64(x)).collect();
+        let mut scratch = vec![F16::ZERO; 64];
+        t.forward(&mut data, &mut scratch);
+        t.inverse(&mut data, &mut scratch);
+        let max_err = orig
+            .iter()
+            .zip(&data)
+            .map(|(a, b)| (a - b.to_f64()).abs())
+            .fold(0.0, f64::max);
+        // f16 has ~1e-3 ulp at 1.0 and we do ~16 accumulations per element.
+        assert!(max_err < 0.05, "err {max_err}");
+        assert!(max_err > 1e-8, "f16 arithmetic should actually lose bits");
+    }
+
+    #[test]
+    fn constant_block_concentrates_into_dc() {
+        let t = BlockTransform::<f64>::new(TransformKind::Dct, &[4, 4]);
+        let mut data = vec![2.5f64; 16];
+        let mut scratch = vec![0.0; 16];
+        t.forward(&mut data, &mut scratch);
+        assert!((data[0] - 2.5 * 4.0).abs() < 1e-12); // mean·√16
+        for &c in &data[1..] {
+            assert!(c.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn scalar_block_is_untouched() {
+        let t = BlockTransform::<f64>::new(TransformKind::Dct, &[]);
+        let mut data = vec![3.0];
+        let mut scratch = vec![0.0];
+        t.forward(&mut data, &mut scratch);
+        assert_eq!(data[0], 3.0);
+    }
+}

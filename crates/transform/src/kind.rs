@@ -1,0 +1,277 @@
+//! The transform families PyBlaz supports.
+
+use crate::Matrix;
+use blazr_precision::Real;
+
+/// Which orthonormal basis the codec uses for the transform step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransformKind {
+    /// Orthonormal DCT-II (the paper's default).
+    Dct,
+    /// Orthonormal Haar wavelet (power-of-two sizes).
+    Haar,
+    /// Orthonormal Walsh–Hadamard (power-of-two sizes): a ±1/√n basis,
+    /// cheaper than the DCT (no trigonometry) with the same DC property.
+    WalshHadamard,
+    /// Identity (no decorrelation) — useful for testing and ablations.
+    /// Note: its first basis vector is *not* constant, so the mean /
+    /// scalar-addition operations (which read the DC coefficient) are not
+    /// available under this transform.
+    Identity,
+}
+
+impl TransformKind {
+    /// All variants, in serialization-tag order.
+    pub const ALL: [TransformKind; 4] = [
+        TransformKind::Dct,
+        TransformKind::Haar,
+        TransformKind::Identity,
+        TransformKind::WalshHadamard,
+    ];
+
+    /// True if the first basis vector is the constant `1/√n` vector, which
+    /// Algorithm 7 (mean) and Algorithm 4 (scalar addition) require.
+    pub fn has_dc_basis(self) -> bool {
+        !matches!(self, TransformKind::Identity)
+    }
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformKind::Dct => "dct",
+            TransformKind::Haar => "haar",
+            TransformKind::Identity => "identity",
+            TransformKind::WalshHadamard => "walsh-hadamard",
+        }
+    }
+
+    /// Serialization tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            TransformKind::Dct => 0,
+            TransformKind::Haar => 1,
+            TransformKind::Identity => 2,
+            TransformKind::WalshHadamard => 3,
+        }
+    }
+
+    /// Inverse of [`TransformKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(TransformKind::Dct),
+            1 => Some(TransformKind::Haar),
+            2 => Some(TransformKind::Identity),
+            3 => Some(TransformKind::WalshHadamard),
+            _ => None,
+        }
+    }
+
+    /// The n×n basis matrix in `f64`: `H[n][k]` is basis vector `k`
+    /// evaluated at element `n` (columns are basis vectors).
+    pub fn matrix_f64(self, n: usize) -> Vec<f64> {
+        assert!(n > 0, "transform size must be positive");
+        match self {
+            TransformKind::Dct => dct_matrix(n),
+            TransformKind::Haar => haar_matrix(n),
+            TransformKind::WalshHadamard => hadamard_matrix(n),
+            TransformKind::Identity => {
+                let mut m = vec![0.0; n * n];
+                for i in 0..n {
+                    m[i * n + i] = 1.0;
+                }
+                m
+            }
+        }
+    }
+
+    /// The basis matrix rounded into precision `P`.
+    pub fn matrix<P: Real>(self, n: usize) -> Matrix<P> {
+        Matrix::from_f64_rows(n, &self.matrix_f64(n))
+    }
+}
+
+/// Standard orthonormal DCT-II basis: column `k` is
+/// `√((1+[k>0])/n)·cos(π(2n+1)k/(2n))` evaluated at element row `n`.
+/// Column 0 is the constant `1/√n` (the DC basis).
+fn dct_matrix(n: usize) -> Vec<f64> {
+    let mut m = vec![0.0; n * n];
+    let nf = n as f64;
+    for row in 0..n {
+        for col in 0..n {
+            let scale = if col == 0 {
+                (1.0 / nf).sqrt()
+            } else {
+                (2.0 / nf).sqrt()
+            };
+            let angle = std::f64::consts::PI * (2.0 * row as f64 + 1.0) * col as f64 / (2.0 * nf);
+            m[row * n + col] = scale * angle.cos();
+        }
+    }
+    m
+}
+
+/// Orthonormal Haar basis for power-of-two `n`, built by the standard
+/// doubling recursion and column normalization. Column 0 is the constant
+/// `1/√n` vector.
+fn haar_matrix(n: usize) -> Vec<f64> {
+    assert!(
+        n.is_power_of_two(),
+        "Haar transform requires power-of-two size, got {n}"
+    );
+    // Start from H(1) = [1]; repeatedly double:
+    //   first half of columns:  column c of H(m) with each entry duplicated
+    //   second half of columns: ±1 detail functions at the finest scale
+    let mut size = 1usize;
+    let mut h = vec![1.0f64];
+    while size < n {
+        let m = size;
+        let next = 2 * m;
+        let mut h2 = vec![0.0; next * next];
+        for c in 0..m {
+            for r in 0..m {
+                let v = h[r * m + c];
+                h2[(2 * r) * next + c] = v;
+                h2[(2 * r + 1) * next + c] = v;
+            }
+        }
+        for i in 0..m {
+            h2[(2 * i) * next + (m + i)] = 1.0;
+            h2[(2 * i + 1) * next + (m + i)] = -1.0;
+        }
+        h = h2;
+        size = next;
+    }
+    // Normalize each column to unit length.
+    for c in 0..n {
+        let norm: f64 = (0..n).map(|r| h[r * n + c] * h[r * n + c]).sum::<f64>().sqrt();
+        for r in 0..n {
+            h[r * n + c] /= norm;
+        }
+    }
+    h
+}
+
+/// Orthonormal Walsh–Hadamard basis for power-of-two `n`, built by the
+/// Sylvester doubling `H(2n) = 1/√2·[H H; H −H]`. Entry (r, c) is
+/// `(−1)^popcount(r & c) / √n`; column 0 is the constant `1/√n`.
+fn hadamard_matrix(n: usize) -> Vec<f64> {
+    assert!(
+        n.is_power_of_two(),
+        "Walsh–Hadamard transform requires power-of-two size, got {n}"
+    );
+    let scale = 1.0 / (n as f64).sqrt();
+    let mut m = vec![0.0; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let sign = if (r & c).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            m[r * n + c] = sign * scale;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dct_matches_naive_formula() {
+        let n = 8;
+        let m = TransformKind::Dct.matrix_f64(n);
+        for row in 0..n {
+            for col in 0..n {
+                let scale: f64 = if col == 0 {
+                    (1.0 / n as f64).sqrt()
+                } else {
+                    (2.0 / n as f64).sqrt()
+                };
+                let v = scale
+                    * (std::f64::consts::PI * (2 * row + 1) as f64 * col as f64
+                        / (2.0 * n as f64))
+                        .cos();
+                assert!((m[row * n + col] - v).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn dct_is_orthonormal() {
+        for n in [1, 2, 3, 4, 5, 8, 16, 32] {
+            let m: Matrix<f64> = TransformKind::Dct.matrix(n);
+            assert!(
+                m.orthonormality_defect() < 1e-12,
+                "n={n} defect {}",
+                m.orthonormality_defect()
+            );
+        }
+    }
+
+    #[test]
+    fn haar_is_orthonormal() {
+        for n in [1, 2, 4, 8, 16, 32, 64] {
+            let m: Matrix<f64> = TransformKind::Haar.matrix(n);
+            assert!(
+                m.orthonormality_defect() < 1e-12,
+                "n={n} defect {}",
+                m.orthonormality_defect()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn haar_rejects_non_power_of_two() {
+        let _ = TransformKind::Haar.matrix_f64(6);
+    }
+
+    #[test]
+    fn dc_basis_is_constant_for_dct_and_haar() {
+        for kind in [TransformKind::Dct, TransformKind::Haar] {
+            let n = 8;
+            let m = kind.matrix_f64(n);
+            let expect = (1.0 / n as f64).sqrt();
+            for row in 0..n {
+                assert!(
+                    (m[row * n] - expect).abs() < 1e-12,
+                    "{kind:?} row {row}: {}",
+                    m[row * n]
+                );
+            }
+            assert!(kind.has_dc_basis());
+        }
+        assert!(!TransformKind::Identity.has_dc_basis());
+    }
+
+    #[test]
+    fn tags_roundtrip() {
+        for k in TransformKind::ALL {
+            assert_eq!(TransformKind::from_tag(k.tag()), Some(k));
+        }
+        assert_eq!(TransformKind::from_tag(9), None);
+    }
+
+    #[test]
+    fn hadamard_is_orthonormal_with_dc_basis() {
+        for n in [1, 2, 4, 8, 16, 32] {
+            let m: Matrix<f64> = TransformKind::WalshHadamard.matrix(n);
+            assert!(m.orthonormality_defect() < 1e-12, "n={n}");
+            let expect = (1.0 / n as f64).sqrt();
+            for row in 0..n {
+                assert!((m.entry(row, 0) - expect).abs() < 1e-15);
+            }
+        }
+        assert!(TransformKind::WalshHadamard.has_dc_basis());
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn hadamard_rejects_non_power_of_two() {
+        let _ = TransformKind::WalshHadamard.matrix_f64(12);
+    }
+
+    #[test]
+    fn identity_matrix_is_identity() {
+        let m = TransformKind::Identity.matrix_f64(3);
+        assert_eq!(m, vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! Small dense square matrices holding transform bases.
+
+use blazr_precision::Real;
+
+/// A square matrix of [`Real`] entries, row-major.
+///
+/// `entry(n, k)` is the value of basis vector `k` at element `n`; the
+/// forward transform contracts data against columns
+/// (`c_k = Σ_n b_n · H[n][k]`) and the inverse against rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix<P> {
+    n: usize,
+    data: Vec<P>,
+}
+
+impl<P: Real> Matrix<P> {
+    /// Builds a matrix from a row-major `f64` buffer, rounding entries into
+    /// `P` (the paper builds its transform matrices in the chosen dtype).
+    pub fn from_f64_rows(n: usize, rows: &[f64]) -> Self {
+        assert_eq!(rows.len(), n * n, "matrix data must be n×n");
+        Self {
+            n,
+            data: rows.iter().map(|&x| P::from_f64(x)).collect(),
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut data = vec![P::zero(); n * n];
+        for i in 0..n {
+            data[i * n + i] = P::one();
+        }
+        Self { n, data }
+    }
+
+    /// Matrix dimension.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Entry at `(row, col)`.
+    #[inline]
+    pub fn entry(&self, row: usize, col: usize) -> P {
+        self.data[row * self.n + col]
+    }
+
+    /// Borrow of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[P] {
+        &self.data[r * self.n..(r + 1) * self.n]
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        let n = self.n;
+        let mut data = vec![P::zero(); n * n];
+        for r in 0..n {
+            for c in 0..n {
+                data[c * n + r] = self.data[r * n + c];
+            }
+        }
+        Self { n, data }
+    }
+
+    /// `self · other` (used only by tests; block application uses the
+    /// axis-contraction kernels in [`crate::BlockTransform`]).
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.n, other.n);
+        let n = self.n;
+        let mut data = vec![P::zero(); n * n];
+        for r in 0..n {
+            for c in 0..n {
+                let mut acc = P::zero();
+                for k in 0..n {
+                    acc = acc + self.entry(r, k) * other.entry(k, c);
+                }
+                data[r * n + c] = acc;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Maximum deviation of `HᵀH` from the identity, in `f64`.
+    ///
+    /// Small values certify orthonormality of the columns.
+    pub fn orthonormality_defect(&self) -> f64 {
+        let n = self.n;
+        let mut worst = 0.0f64;
+        for a in 0..n {
+            for b in 0..n {
+                let mut acc = 0.0;
+                for k in 0..n {
+                    acc += self.entry(k, a).to_f64() * self.entry(k, b).to_f64();
+                }
+                let target = if a == b { 1.0 } else { 0.0 };
+                worst = worst.max((acc - target).abs());
+            }
+        }
+        worst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_properties() {
+        let m = Matrix::<f64>::identity(4);
+        assert_eq!(m.size(), 4);
+        assert_eq!(m.entry(2, 2), 1.0);
+        assert_eq!(m.entry(2, 1), 0.0);
+        assert_eq!(m.orthonormality_defect(), 0.0);
+    }
+
+    #[test]
+    fn transpose_is_involution() {
+        let m = Matrix::<f64>::from_f64_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let t = m.transpose();
+        assert_eq!(t.entry(0, 1), 3.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn matmul_against_hand_computed() {
+        let a = Matrix::<f64>::from_f64_rows(2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::<f64>::from_f64_rows(2, &[5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.entry(0, 0), 19.0);
+        assert_eq!(c.entry(0, 1), 22.0);
+        assert_eq!(c.entry(1, 0), 43.0);
+        assert_eq!(c.entry(1, 1), 50.0);
+    }
+
+    #[test]
+    fn low_precision_entries_round() {
+        use blazr_precision::F16;
+        let m = Matrix::<F16>::from_f64_rows(1, &[std::f64::consts::FRAC_1_SQRT_2]);
+        let e = m.entry(0, 0).to_f64();
+        assert!((e - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,220 @@
+//! MSB-first bit-level I/O.
+//!
+//! Used by the PyBlaz-style serializer (`blazr::serialize`), the ZFP-style
+//! embedded coder, and the SZ-style Huffman coder. Bits are packed most
+//! significant first within each byte, which makes serialized streams easy
+//! to inspect in hex dumps and matches the convention of the paper's §IV-C
+//! accounting.
+
+/// Accumulates bits MSB-first into a byte vector.
+#[derive(Default, Debug, Clone)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Free bits remaining in the final byte (0..=8). 0 means the last byte
+    /// is full (or no bytes have been written yet).
+    free: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> usize {
+        if self.free == 0 {
+            self.bytes.len() * 8
+        } else {
+            self.bytes.len() * 8 - self.free as usize
+        }
+    }
+
+    /// Writes a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        if self.free == 0 {
+            self.bytes.push(0);
+            self.free = 8;
+        }
+        self.free -= 1;
+        if bit {
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= 1 << self.free;
+        }
+    }
+
+    /// Writes the low `n` bits of `value`, most significant of those first.
+    pub fn write_bits(&mut self, value: u64, n: u32) {
+        assert!(n <= 64);
+        for i in (0..n).rev() {
+            self.write_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Convenience: writes a full `u64` (64 bits).
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bits(value, 64);
+    }
+
+    /// Finalizes the stream, returning the bytes (final byte zero-padded).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Bytes written so far, including a zero-padded partial byte.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+}
+
+/// Reads bits MSB-first from a byte slice.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current bit position.
+    pub fn bit_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Total number of bits available.
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8
+    }
+
+    /// Remaining bits.
+    pub fn remaining(&self) -> usize {
+        self.bit_len().saturating_sub(self.pos)
+    }
+
+    /// Reads a single bit. Returns `None` past the end.
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.bit_len() {
+            return None;
+        }
+        let byte = self.bytes[self.pos / 8];
+        let bit = (byte >> (7 - (self.pos % 8))) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `n` bits into the low bits of a `u64`. Returns `None` if the
+    /// stream is exhausted first.
+    pub fn read_bits(&mut self, n: u32) -> Option<u64> {
+        assert!(n <= 64);
+        if self.remaining() < n as usize {
+            return None;
+        }
+        let mut v = 0u64;
+        for _ in 0..n {
+            v = (v << 1) | self.read_bit()? as u64;
+        }
+        Some(v)
+    }
+
+    /// Reads a full `u64`.
+    pub fn read_u64(&mut self) -> Option<u64> {
+        self.read_bits(64)
+    }
+
+    /// Skips `n` bits.
+    pub fn skip(&mut self, n: usize) {
+        self.pos = (self.pos + n).min(self.bit_len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn single_bits_roundtrip() {
+        let mut w = BitWriter::new();
+        let pattern = [true, false, true, true, false, false, true, false, true];
+        for &b in &pattern {
+            w.write_bit(b);
+        }
+        assert_eq!(w.bit_len(), 9);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes.len(), 2);
+        let mut r = BitReader::new(&bytes);
+        for &b in &pattern {
+            assert_eq!(r.read_bit(), Some(b));
+        }
+    }
+
+    #[test]
+    fn msb_first_layout() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b1011, 4);
+        let bytes = w.into_bytes();
+        assert_eq!(bytes, vec![0b1011_0000]);
+    }
+
+    #[test]
+    fn multi_width_roundtrip() {
+        let mut w = BitWriter::new();
+        w.write_bits(0x3, 2);
+        w.write_bits(0x1234_5678_9ABC_DEF0, 64);
+        w.write_bits(0x1F, 5);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(2), Some(0x3));
+        assert_eq!(r.read_bits(64), Some(0x1234_5678_9ABC_DEF0));
+        assert_eq!(r.read_bits(5), Some(0x1F));
+    }
+
+    #[test]
+    fn read_past_end_returns_none() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        // One byte = 8 bits available (padded); after that None.
+        assert!(r.read_bits(8).is_some());
+        assert_eq!(r.read_bit(), None);
+        assert_eq!(r.read_bits(1), None);
+    }
+
+    #[test]
+    fn randomized_roundtrip() {
+        let mut rng = Xoshiro256pp::seed_from_u64(77);
+        for _ in 0..50 {
+            let mut w = BitWriter::new();
+            let mut expected = Vec::new();
+            for _ in 0..200 {
+                let n = rng.range(1, 33) as u32;
+                let v = rng.next_u64() & ((1u64 << n) - 1).max(1);
+                let v = if n == 64 { v } else { v & ((1u64 << n) - 1) };
+                w.write_bits(v, n);
+                expected.push((v, n));
+            }
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            for (v, n) in expected {
+                assert_eq!(r.read_bits(n), Some(v));
+            }
+        }
+    }
+
+    #[test]
+    fn bit_len_tracks_writes() {
+        let mut w = BitWriter::new();
+        assert_eq!(w.bit_len(), 0);
+        w.write_bit(true);
+        assert_eq!(w.bit_len(), 1);
+        w.write_bits(0, 7);
+        assert_eq!(w.bit_len(), 8);
+        w.write_bits(0, 3);
+        assert_eq!(w.bit_len(), 11);
+    }
+}

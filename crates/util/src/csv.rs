@@ -1,0 +1,138 @@
+//! A minimal CSV writer for the figure-regeneration binaries.
+//!
+//! The benchmark harness emits one CSV per paper figure into `results/`;
+//! this module keeps that dependency-free. Values are written with enough
+//! precision to round-trip `f64`.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Accumulates rows and writes them to disk.
+#[derive(Debug, Default, Clone)]
+pub struct CsvWriter {
+    buf: String,
+    columns: usize,
+}
+
+impl CsvWriter {
+    /// Creates a writer with a header row.
+    pub fn with_header(columns: &[&str]) -> Self {
+        let mut w = Self {
+            buf: String::new(),
+            columns: columns.len(),
+        };
+        w.push_row_str(columns);
+        w
+    }
+
+    fn push_field(&mut self, field: &str, first: bool) {
+        if !first {
+            self.buf.push(',');
+        }
+        if field.contains([',', '"', '\n']) {
+            self.buf.push('"');
+            for ch in field.chars() {
+                if ch == '"' {
+                    self.buf.push('"');
+                }
+                self.buf.push(ch);
+            }
+            self.buf.push('"');
+        } else {
+            self.buf.push_str(field);
+        }
+    }
+
+    /// Appends a row of string fields. Panics on column-count mismatch.
+    pub fn push_row_str(&mut self, fields: &[&str]) {
+        assert_eq!(fields.len(), self.columns, "column count mismatch");
+        for (i, f) in fields.iter().enumerate() {
+            self.push_field(f, i == 0);
+        }
+        self.buf.push('\n');
+    }
+
+    /// Appends a row of mixed values already formatted by the caller.
+    pub fn push_row(&mut self, fields: &[CsvField<'_>]) {
+        assert_eq!(fields.len(), self.columns, "column count mismatch");
+        let mut tmp = String::new();
+        for (i, f) in fields.iter().enumerate() {
+            tmp.clear();
+            match f {
+                CsvField::Str(s) => {
+                    self.push_field(s, i == 0);
+                    continue;
+                }
+                CsvField::Int(v) => {
+                    let _ = write!(tmp, "{v}");
+                }
+                CsvField::Float(v) => {
+                    if v.is_nan() {
+                        tmp.push_str("NaN");
+                    } else {
+                        let _ = write!(tmp, "{v:.9e}");
+                    }
+                }
+            }
+            self.push_field(&tmp, i == 0);
+        }
+        self.buf.push('\n');
+    }
+
+    /// Finished CSV contents.
+    pub fn contents(&self) -> &str {
+        &self.buf
+    }
+
+    /// Writes to `path`, creating parent directories as needed.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, &self.buf)
+    }
+}
+
+/// A typed CSV field.
+#[derive(Debug, Clone)]
+pub enum CsvField<'a> {
+    /// A raw string field (quoted if necessary).
+    Str(&'a str),
+    /// An integer field.
+    Int(i64),
+    /// A floating-point field, written in scientific notation (or `NaN`).
+    Float(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_and_rows() {
+        let mut w = CsvWriter::with_header(&["size", "time"]);
+        w.push_row(&[CsvField::Int(8), CsvField::Float(1.25e-3)]);
+        w.push_row(&[CsvField::Int(16), CsvField::Float(f64::NAN)]);
+        let s = w.contents();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "size,time");
+        assert!(lines[1].starts_with("8,1.25"));
+        assert_eq!(lines[2], "16,NaN");
+    }
+
+    #[test]
+    fn quoting_is_applied() {
+        let mut w = CsvWriter::with_header(&["name"]);
+        w.push_row_str(&["a,b\"c"]);
+        assert_eq!(w.contents().lines().nth(1).unwrap(), "\"a,b\"\"c\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn column_mismatch_panics() {
+        let mut w = CsvWriter::with_header(&["a", "b"]);
+        w.push_row_str(&["only-one"]);
+    }
+}

@@ -1,0 +1,334 @@
+//! Canonical Huffman coding over `u32` symbols.
+//!
+//! Substrate for the SZ-style baseline (`blazr-baselines::szoid`), which
+//! Huffman-codes its quantization indices exactly as SZ does. The
+//! implementation builds an optimal prefix code from symbol frequencies,
+//! converts it to canonical form (so only code lengths need to be
+//! serialized), and provides bit-level encode/decode through
+//! [`crate::bits`].
+
+use crate::bits::{BitReader, BitWriter};
+use std::collections::BinaryHeap;
+
+/// Maximum code length we permit. With length-limited canonical assignment
+/// this is plenty for the symbol counts the codecs produce.
+const MAX_CODE_LEN: u32 = 58;
+
+/// A built Huffman codebook: per-symbol code lengths and canonical codes.
+#[derive(Debug, Clone)]
+pub struct Codebook {
+    /// `lengths[sym]` is the code length in bits; 0 if the symbol is unused.
+    pub lengths: Vec<u32>,
+    /// `codes[sym]` is the canonical code value, MSB-aligned to its length.
+    pub codes: Vec<u64>,
+}
+
+#[derive(PartialEq, Eq)]
+struct HeapItem {
+    weight: u64,
+    // Tie-break on node id for determinism.
+    id: usize,
+    node: usize,
+}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for min-heap behaviour on BinaryHeap (a max-heap).
+        other
+            .weight
+            .cmp(&self.weight)
+            .then_with(|| other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Codebook {
+    /// Builds a canonical Huffman codebook from symbol frequencies.
+    ///
+    /// `freqs[sym]` is the occurrence count of `sym`; zero-frequency symbols
+    /// get no code. Panics if every frequency is zero.
+    pub fn from_frequencies(freqs: &[u64]) -> Self {
+        let used: Vec<usize> = (0..freqs.len()).filter(|&s| freqs[s] > 0).collect();
+        assert!(!used.is_empty(), "cannot build a codebook with no symbols");
+        let mut lengths = vec![0u32; freqs.len()];
+        if used.len() == 1 {
+            // Degenerate alphabet: assign a 1-bit code.
+            lengths[used[0]] = 1;
+        } else {
+            // Standard Huffman tree over internal nodes.
+            // node layout: 0..n are leaves (indices into `used`), then
+            // internal nodes. parent[] tracks merges.
+            let n = used.len();
+            let mut parent = vec![usize::MAX; 2 * n - 1];
+            let mut heap = BinaryHeap::new();
+            for (i, &s) in used.iter().enumerate() {
+                heap.push(HeapItem {
+                    weight: freqs[s],
+                    id: i,
+                    node: i,
+                });
+            }
+            let mut next = n;
+            while heap.len() > 1 {
+                let a = heap.pop().expect("heap nonempty");
+                let b = heap.pop().expect("heap nonempty");
+                parent[a.node] = next;
+                parent[b.node] = next;
+                heap.push(HeapItem {
+                    weight: a.weight.saturating_add(b.weight),
+                    id: next,
+                    node: next,
+                });
+                next += 1;
+            }
+            // Depth of each leaf = code length.
+            for (i, &s) in used.iter().enumerate() {
+                let mut d = 0;
+                let mut cur = i;
+                while parent[cur] != usize::MAX {
+                    cur = parent[cur];
+                    d += 1;
+                }
+                lengths[s] = d;
+            }
+        }
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        assert!(
+            max_len <= MAX_CODE_LEN,
+            "Huffman code length {max_len} exceeds supported maximum"
+        );
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    /// Rebuilds canonical codes from stored lengths (e.g. after
+    /// deserializing only the lengths).
+    pub fn from_lengths(lengths: Vec<u32>) -> Self {
+        let codes = canonical_codes(&lengths);
+        Self { lengths, codes }
+    }
+
+    /// Encodes a symbol stream.
+    pub fn encode(&self, symbols: &[u32], w: &mut BitWriter) {
+        for &s in symbols {
+            let s = s as usize;
+            let len = self.lengths[s];
+            assert!(len > 0, "symbol {s} has no code");
+            w.write_bits(self.codes[s], len);
+        }
+    }
+
+    /// Decodes `count` symbols from the reader. Returns `None` on a
+    /// malformed stream.
+    pub fn decode(&self, r: &mut BitReader<'_>, count: usize) -> Option<Vec<u32>> {
+        let table = DecodeTable::new(self);
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            out.push(table.decode_one(r)?);
+        }
+        Some(out)
+    }
+
+    /// Expected encoded size in bits for the given frequency profile.
+    pub fn encoded_bits(&self, freqs: &[u64]) -> u64 {
+        freqs
+            .iter()
+            .zip(&self.lengths)
+            .map(|(&f, &l)| f * l as u64)
+            .sum()
+    }
+}
+
+/// Assigns canonical codes from code lengths: symbols sorted by
+/// (length, symbol index) receive consecutive code values.
+fn canonical_codes(lengths: &[u32]) -> Vec<u64> {
+    let mut order: Vec<usize> = (0..lengths.len()).filter(|&s| lengths[s] > 0).collect();
+    order.sort_by_key(|&s| (lengths[s], s));
+    let mut codes = vec![0u64; lengths.len()];
+    let mut code = 0u64;
+    let mut prev_len = 0u32;
+    for &s in &order {
+        let len = lengths[s];
+        code <<= len - prev_len;
+        codes[s] = code;
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// Canonical-code decoding table: per-length first-code and symbol offsets.
+struct DecodeTable {
+    /// For each length l: (first code value of length l, index into `syms`).
+    first: Vec<(u64, usize)>,
+    counts: Vec<usize>,
+    syms: Vec<u32>,
+    max_len: u32,
+}
+
+impl DecodeTable {
+    fn new(book: &Codebook) -> Self {
+        let max_len = book.lengths.iter().copied().max().unwrap_or(0);
+        let mut order: Vec<usize> = (0..book.lengths.len())
+            .filter(|&s| book.lengths[s] > 0)
+            .collect();
+        order.sort_by_key(|&s| (book.lengths[s], s));
+        let mut first = vec![(0u64, 0usize); (max_len + 1) as usize];
+        let mut counts = vec![0usize; (max_len + 1) as usize];
+        for &s in &order {
+            counts[book.lengths[s] as usize] += 1;
+        }
+        let mut idx = 0usize;
+        let mut code = 0u64;
+        for l in 1..=max_len as usize {
+            code <<= 1;
+            first[l] = (code, idx);
+            code += counts[l] as u64;
+            idx += counts[l];
+        }
+        let syms = order.iter().map(|&s| s as u32).collect();
+        Self {
+            first,
+            counts,
+            syms,
+            max_len,
+        }
+    }
+
+    fn decode_one(&self, r: &mut BitReader<'_>) -> Option<u32> {
+        let mut code = 0u64;
+        for l in 1..=self.max_len as usize {
+            code = (code << 1) | r.read_bit()? as u64;
+            let (fc, idx) = self.first[l];
+            let cnt = self.counts[l] as u64;
+            if cnt > 0 && code >= fc && code < fc + cnt {
+                return Some(self.syms[idx + (code - fc) as usize]);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    fn roundtrip(symbols: &[u32], alphabet: usize) {
+        let mut freqs = vec![0u64; alphabet];
+        for &s in symbols {
+            freqs[s as usize] += 1;
+        }
+        let book = Codebook::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        book.encode(symbols, &mut w);
+        let bits = w.bit_len() as u64;
+        assert_eq!(bits, book.encoded_bits(&freqs));
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        let decoded = book.decode(&mut r, symbols.len()).expect("decodable");
+        assert_eq!(decoded, symbols);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        roundtrip(&[3, 3, 3, 3, 3], 8);
+    }
+
+    #[test]
+    fn two_symbol_alphabet() {
+        roundtrip(&[0, 1, 0, 0, 1, 0, 1, 1, 1, 0], 2);
+    }
+
+    #[test]
+    fn skewed_distribution_compresses() {
+        // 90% of mass on one symbol => < 2 bits/symbol on average.
+        let mut rng = Xoshiro256pp::seed_from_u64(9);
+        let symbols: Vec<u32> = (0..10_000)
+            .map(|_| {
+                if rng.uniform() < 0.9 {
+                    0
+                } else {
+                    1 + rng.below(15) as u32
+                }
+            })
+            .collect();
+        let mut freqs = vec![0u64; 16];
+        for &s in &symbols {
+            freqs[s as usize] += 1;
+        }
+        let book = Codebook::from_frequencies(&freqs);
+        let bits = book.encoded_bits(&freqs);
+        assert!(
+            (bits as f64) < 2.0 * symbols.len() as f64,
+            "bits/symbol = {}",
+            bits as f64 / symbols.len() as f64
+        );
+        roundtrip(&symbols, 16);
+    }
+
+    #[test]
+    fn uniform_distribution_roundtrips() {
+        let mut rng = Xoshiro256pp::seed_from_u64(10);
+        let symbols: Vec<u32> = (0..5_000).map(|_| rng.below(100) as u32).collect();
+        roundtrip(&symbols, 100);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let mut rng = Xoshiro256pp::seed_from_u64(11);
+        let freqs: Vec<u64> = (0..64).map(|_| rng.below(1000)).collect();
+        if freqs.iter().all(|&f| f == 0) {
+            return;
+        }
+        let book = Codebook::from_frequencies(&freqs);
+        let kraft: f64 = book
+            .lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-12, "kraft sum {kraft}");
+    }
+
+    #[test]
+    fn codes_are_prefix_free() {
+        let freqs = vec![5, 9, 12, 13, 16, 45, 0, 3];
+        let book = Codebook::from_frequencies(&freqs);
+        let coded: Vec<(u64, u32)> = (0..freqs.len())
+            .filter(|&s| book.lengths[s] > 0)
+            .map(|s| (book.codes[s], book.lengths[s]))
+            .collect();
+        for (i, &(ca, la)) in coded.iter().enumerate() {
+            for (j, &(cb, lb)) in coded.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let l = la.min(lb);
+                assert_ne!(ca >> (la - l), cb >> (lb - l), "prefix collision");
+            }
+        }
+    }
+
+    #[test]
+    fn lengths_only_rebuild_matches() {
+        let freqs = vec![7, 1, 1, 2, 11, 0, 4];
+        let a = Codebook::from_frequencies(&freqs);
+        let b = Codebook::from_lengths(a.lengths.clone());
+        assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn optimality_on_textbook_example() {
+        // Classic example: weighted path length must equal the known optimum.
+        let freqs = vec![45u64, 13, 12, 16, 9, 5];
+        let book = Codebook::from_frequencies(&freqs);
+        let total = book.encoded_bits(&freqs);
+        assert_eq!(total, 224); // optimal for this distribution
+    }
+}

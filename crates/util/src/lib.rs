@@ -1,0 +1,25 @@
+//! Shared low-level substrates for the `blazr` workspace.
+//!
+//! This crate collects the infrastructure every other crate leans on:
+//!
+//! * [`rng`] — a deterministic, seedable xoshiro256++ generator (plus
+//!   splitmix64 for seeding) used by all workload generators so every
+//!   experiment in the repository is reproducible bit-for-bit.
+//! * [`bits`] — MSB-first [`bits::BitWriter`]/[`bits::BitReader`] used by the
+//!   codec serializers and the baseline compressors.
+//! * [`negabinary`] — the sign-free integer representation used by the
+//!   ZFP-style embedded coder.
+//! * [`huffman`] — a canonical Huffman encoder/decoder used by the SZ-style
+//!   baseline.
+//! * [`stats`] — scalar statistics helpers (Welford mean/variance, extrema)
+//!   used by tests and the benchmark harness.
+//! * [`csv`] — a tiny CSV emitter for the figure-regeneration binaries.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bits;
+pub mod csv;
+pub mod huffman;
+pub mod negabinary;
+pub mod rng;
+pub mod stats;

@@ -1,0 +1,93 @@
+//! Negabinary (base −2) integer representation.
+//!
+//! ZFP encodes transform coefficients in negabinary so that small-magnitude
+//! values — positive or negative — have their significant bits concentrated
+//! in the low bit positions, letting the embedded bit-plane coder truncate
+//! streams without a separate sign pass. The mapping used here is the same
+//! branch-free one as in the ZFP reference implementation:
+//!
+//! ```text
+//! encode(x) = (x + M) ^ M      where M = 0xAAAA…AAAA
+//! decode(y) = (y ^ M) - M
+//! ```
+//!
+//! interpreted over two's-complement `i64`/`u64`.
+
+const MASK: u64 = 0xAAAA_AAAA_AAAA_AAAA;
+
+/// Converts a two's-complement integer to its negabinary representation.
+#[inline]
+pub fn to_negabinary(x: i64) -> u64 {
+    ((x as u64).wrapping_add(MASK)) ^ MASK
+}
+
+/// Converts a negabinary representation back to a two's-complement integer.
+#[inline]
+pub fn from_negabinary(y: u64) -> i64 {
+    (y ^ MASK).wrapping_sub(MASK) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256pp;
+
+    #[test]
+    fn zero_maps_to_zero() {
+        assert_eq!(to_negabinary(0), 0);
+        assert_eq!(from_negabinary(0), 0);
+    }
+
+    #[test]
+    fn known_small_values() {
+        // Base −2 digits: 1 = 1, -1 = 11 (i.e. 3), 2 = 110 (6), -2 = 10 (2)
+        assert_eq!(to_negabinary(1), 0b1);
+        assert_eq!(to_negabinary(-1), 0b11);
+        assert_eq!(to_negabinary(2), 0b110);
+        assert_eq!(to_negabinary(-2), 0b10);
+        assert_eq!(to_negabinary(3), 0b111);
+        assert_eq!(to_negabinary(-3), 0b1101);
+    }
+
+    #[test]
+    fn negabinary_digits_reconstruct_value() {
+        // Verify that interpreting the bits in base −2 yields the original.
+        for x in -2000i64..2000 {
+            let y = to_negabinary(x);
+            let mut acc: i64 = 0;
+            let mut place: i64 = 1;
+            for i in 0..63 {
+                if (y >> i) & 1 == 1 {
+                    acc += place;
+                }
+                place = -place * 2;
+            }
+            assert_eq!(acc, x, "digit expansion of {x}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_exhaustive_small() {
+        for x in -10_000i64..10_000 {
+            assert_eq!(from_negabinary(to_negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random_wide() {
+        let mut rng = Xoshiro256pp::seed_from_u64(123);
+        for _ in 0..100_000 {
+            let x = rng.next_u64() as i64;
+            assert_eq!(from_negabinary(to_negabinary(x)), x);
+        }
+    }
+
+    #[test]
+    fn small_magnitudes_use_few_bits() {
+        // The property ZFP relies on: |x| small => few significant bits.
+        for x in -8i64..=8 {
+            let y = to_negabinary(x);
+            assert!(64 - y.leading_zeros() <= 5, "x={x} y={y:b}");
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Scalar statistics helpers used by tests and the benchmark harness.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by the harness to summarize
+/// timing samples and by tests to check error distributions.
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 if fewer than one observation).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (+inf if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (−inf if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Maximum absolute difference between paired slices.
+///
+/// Panics if lengths differ.
+pub fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square difference between paired slices.
+pub fn rms_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Relative error |a−b| / max(|b|, floor). Returns the absolute error when
+/// the reference magnitude is below `floor` to avoid division blow-up.
+pub fn relative_error(approx: f64, reference: f64, floor: f64) -> f64 {
+    let denom = reference.abs().max(floor);
+    if denom == 0.0 {
+        (approx - reference).abs()
+    } else {
+        (approx - reference).abs() / denom
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [1.0, 2.0, 3.5, -1.0, 0.25, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.push(x);
+        }
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((w.mean() - m).abs() < 1e-12);
+        assert!((w.variance() - v).abs() < 1e-12);
+        assert_eq!(w.count(), xs.len() as u64);
+        assert_eq!(w.min(), -1.0);
+        assert_eq!(w.max(), 9.0);
+    }
+
+    #[test]
+    fn welford_empty_is_sane() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.count(), 0);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_peak() {
+        assert_eq!(max_abs_diff(&[1.0, 2.0, 3.0], &[1.0, 5.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn rms_diff_of_identical_is_zero() {
+        let xs = [0.5, -0.25, 7.0];
+        assert_eq!(rms_diff(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn relative_error_uses_floor() {
+        assert_eq!(relative_error(1.5, 1.0, 1e-9), 0.5);
+        // Reference near zero: falls back toward absolute via floor.
+        let e = relative_error(1e-3, 0.0, 1e-3);
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+}

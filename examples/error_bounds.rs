@@ -1,0 +1,69 @@
+//! The §IV-D error analysis in practice: compress with a report, compare
+//! the measured coefficient errors and decompression errors against every
+//! bound the paper states (and the tighter one this implementation adds).
+//!
+//! Run with: `cargo run --release --example error_bounds`
+
+use blazr::{compress_with_report, PruningMask, Settings};
+use blazr_tensor::{reduce, NdArray};
+use blazr_util::rng::Xoshiro256pp;
+
+fn main() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xE44);
+    let a = NdArray::from_fn(vec![64, 64], |_| rng.uniform_in(-1.0, 1.0));
+
+    for (label, settings) in [
+        (
+            "int8, no pruning",
+            Settings::new(vec![8, 8]).unwrap(),
+        ),
+        (
+            "int8, keep 4×4 low-frequency box",
+            Settings::new(vec![8, 8])
+                .unwrap()
+                .with_mask(PruningMask::keep_low_frequency_box(&[8, 8], &[4, 4]).unwrap())
+                .unwrap(),
+        ),
+    ] {
+        println!("=== {label} ===");
+        let (c, report) = compress_with_report::<f64, i8>(&a, &settings).unwrap();
+        let d = c.decompress();
+        let err = a.sub(&d);
+        let actual_linf = reduce::norm_linf(&err);
+        let actual_l2 = reduce::norm_l2(&err);
+
+        println!("  compression ratio        : {:.2}×", c.compression_ratio());
+        println!("  actual L∞ element error  : {actual_linf:.4e}");
+        println!(
+            "  our L∞ bound (Σ|Δc|)     : {:.4e}  ({}× actual)",
+            report.linf_bound(),
+            (report.linf_bound() / actual_linf).round()
+        );
+        println!(
+            "  paper's loose L∞ bound   : {:.4e}  ({:.0}× actual)",
+            report.paper_loose_linf_bound(),
+            report.paper_loose_linf_bound() / actual_linf
+        );
+        println!("  actual L2 error          : {actual_l2:.4e}");
+        println!(
+            "  coefficient-space L2     : {:.4e}  (orthonormality makes these equal)",
+            report.total_coeff_l2
+        );
+        let max_bin_bound = report
+            .binning_bound_per_block
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        let max_coeff_err = report
+            .per_block_coeff_linf
+            .iter()
+            .cloned()
+            .fold(0.0, f64::max);
+        println!(
+            "  worst per-coeff error    : {max_coeff_err:.4e} vs binning bound N/(2r) = {max_bin_bound:.4e}"
+        );
+        assert!(actual_linf <= report.linf_bound() * (1.0 + 1e-9));
+        assert!((actual_l2 - report.total_coeff_l2).abs() < 1e-9 * (1.0 + actual_l2));
+        println!("  all bounds hold ✓\n");
+    }
+}

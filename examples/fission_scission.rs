@@ -1,0 +1,66 @@
+//! Scission detection in nuclear fission data (§V-C): compress each time
+//! step of a plutonium-density series, then locate the step at which the
+//! nucleus splits using compressed-space L2 differences and the
+//! approximate Wasserstein distance — showing why one metric beats the
+//! other in the presence of noise.
+//!
+//! Run with: `cargo run --release --example fission_scission`
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_datasets::fission::{series, FissionConfig, SCISSION_BETWEEN};
+
+fn main() {
+    println!("generating synthetic plutonium neutron densities (40×40×66, 15 steps)…");
+    let data = series(&FissionConfig::default());
+    // Paper settings: 16×16×16 blocks, int16 indices, FP32 scales.
+    let settings = Settings::new(vec![16, 16, 16]).unwrap();
+    let compressed: Vec<(usize, CompressedArray<f32, i16>)> = data
+        .iter()
+        .map(|(t, a)| (*t, compress(a, &settings).unwrap()))
+        .collect();
+    println!(
+        "compressed each step {:.1}× (vs f64)",
+        compressed[0].1.compression_ratio()
+    );
+
+    // L2 differences: finds the scission but with distracting side peaks.
+    println!("\nadjacent-step L2 differences (compressed space):");
+    let mut l2: Vec<((usize, usize), f64)> = Vec::new();
+    for w in compressed.windows(2) {
+        let (t1, ref a) = w[0];
+        let (t2, ref b) = w[1];
+        let d = a.sub(b).unwrap().l2_norm() as f64;
+        l2.push(((t1, t2), d));
+    }
+    let max_l2 = l2.iter().map(|&(_, d)| d).fold(0.0, f64::max);
+    for &((t1, t2), d) in &l2 {
+        let bar = "#".repeat((d / max_l2 * 50.0).round() as usize);
+        println!("  {t1:>3}→{t2:<3} {d:>10.2} {bar}");
+    }
+
+    // Wasserstein at increasing order: side peaks melt away.
+    for p in [2.0, 16.0, 68.0] {
+        println!("\nWasserstein distance, p = {p}:");
+        let mut ws = Vec::new();
+        for w in compressed.windows(2) {
+            let (t1, ref a) = w[0];
+            let (t2, ref b) = w[1];
+            ws.push(((t1, t2), a.wasserstein(b, p).unwrap()));
+        }
+        let max_w = ws.iter().map(|&(_, d)| d).fold(0.0, f64::max);
+        for &((t1, t2), d) in &ws {
+            let bar = "#".repeat((d / max_w * 50.0).round() as usize);
+            println!("  {t1:>3}→{t2:<3} {d:>10.3e} {bar}");
+        }
+    }
+
+    let (peak_pair, _) = l2
+        .iter()
+        .cloned()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .unwrap();
+    println!(
+        "\ndetected scission between steps {} and {} (ground truth: {} and {})",
+        peak_pair.0, peak_pair.1, SCISSION_BETWEEN.0, SCISSION_BETWEEN.1
+    );
+}

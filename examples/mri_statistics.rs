@@ -1,0 +1,64 @@
+//! Statistics on compressed MRI volumes (§V-B): compute mean, variance,
+//! L2 norm on compressed FLAIR-like volumes and SSIM between compressed
+//! pairs, across two compression settings, without decompressing.
+//!
+//! Run with: `cargo run --release --example mri_statistics`
+
+use blazr::dynamic::compress_dyn;
+use blazr::ops::SsimParams;
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_datasets::mri::MriDataset;
+use blazr_tensor::{reduce, NdArray};
+
+fn main() {
+    let ds = MriDataset::small(11, 4, 64);
+    println!("generating {} FLAIR-like volumes (64×64 slices)…", ds.volumes);
+    let volumes: Vec<NdArray<f64>> = (0..ds.volumes).map(|i| ds.volume(i)).collect();
+    for (i, v) in volumes.iter().enumerate() {
+        println!(
+            "  volume {i}: shape {:?}, mean {:.4}, std {:.4}",
+            v.shape(),
+            reduce::mean(v),
+            reduce::std_dev(v)
+        );
+    }
+
+    for (ft, it, bs) in [
+        (ScalarType::F32, IndexType::I16, vec![4usize, 4, 4]),
+        (ScalarType::F32, IndexType::I8, vec![4, 16, 16]),
+    ] {
+        let settings = Settings::new(bs.clone()).unwrap();
+        println!(
+            "\nsettings: {} scales, {} indices, {:?} blocks",
+            ft.name(),
+            it.name(),
+            bs
+        );
+        for (i, v) in volumes.iter().enumerate() {
+            let c = compress_dyn(v, &settings, ft, it).unwrap();
+            println!(
+                "  vol {i}: ratio {:>5.2}×  mean {:.5} (ref {:.5})  var {:.6} (ref {:.6})  ‖·‖₂ {:.3} (ref {:.3})",
+                c.compression_ratio(),
+                c.mean().unwrap(),
+                reduce::mean(v),
+                c.variance().unwrap(),
+                reduce::variance(v),
+                c.l2_norm(),
+                reduce::norm_l2(v),
+            );
+        }
+        // SSIM between the first same-depth-cropped pair.
+        let d = volumes[0].shape()[0].min(volumes[1].shape()[0]);
+        let crop = |v: &NdArray<f64>| {
+            NdArray::from_fn(vec![d, v.shape()[1], v.shape()[2]], |idx| v.get(idx))
+        };
+        let (va, vb) = (crop(&volumes[0]), crop(&volumes[1]));
+        let ca = compress_dyn(&va, &settings, ft, it).unwrap();
+        let cb = compress_dyn(&vb, &settings, ft, it).unwrap();
+        println!(
+            "  SSIM(vol0, vol1) = {:.4} compressed vs {:.4} uncompressed",
+            ca.ssim(&cb, &SsimParams::default()).unwrap(),
+            reduce::ssim(&va, &vb, &SsimParams::default())
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Quickstart: compress an array, operate on it without decompressing,
+//! check the error, and serialize it.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use blazr::ops::SsimParams;
+use blazr::{compress, compress_with_report, CompressedArray, Settings};
+use blazr_tensor::{reduce, NdArray};
+
+fn main() {
+    // A smooth 2-D field, the kind of data lossy compressors love.
+    let shape = vec![128, 128];
+    let a = NdArray::from_fn(shape.clone(), |i| {
+        ((i[0] as f64) / 12.0).sin() * ((i[1] as f64) / 17.0).cos()
+    });
+    let b = NdArray::from_fn(shape.clone(), |i| {
+        ((i[0] as f64) / 9.0).cos() + 0.1 * (i[1] as f64 / 30.0)
+    });
+
+    // Settings: 8×8 blocks, DCT, no pruning. The float format (f32) and
+    // bin index type (i16) are chosen at the type level.
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let ca: CompressedArray<f32, i16> = compress(&a, &settings).unwrap();
+    let cb: CompressedArray<f32, i16> = compress(&b, &settings).unwrap();
+
+    println!("compression ratio (vs f64): {:.2}×", ca.compression_ratio());
+    println!("serialized size: {} bytes", ca.to_bytes().len());
+
+    // Operate directly on the compressed representations.
+    println!("\ncompressed-space results vs uncompressed references:");
+    println!(
+        "  mean       {:>12.6}  (ref {:>12.6})",
+        ca.mean().unwrap(),
+        reduce::mean(&a)
+    );
+    println!(
+        "  variance   {:>12.6}  (ref {:>12.6})",
+        ca.variance().unwrap(),
+        reduce::variance(&a)
+    );
+    println!(
+        "  L2 norm    {:>12.6}  (ref {:>12.6})",
+        ca.l2_norm(),
+        reduce::norm_l2(&a)
+    );
+    println!(
+        "  dot(a,b)   {:>12.6}  (ref {:>12.6})",
+        ca.dot(&cb).unwrap(),
+        reduce::dot(&a, &b)
+    );
+    println!(
+        "  cosine     {:>12.6}  (ref {:>12.6})",
+        ca.cosine_similarity(&cb).unwrap(),
+        reduce::cosine_similarity(&a, &b)
+    );
+    println!(
+        "  SSIM       {:>12.6}  (ref {:>12.6})",
+        ca.ssim(&cb, &SsimParams::default()).unwrap(),
+        reduce::ssim(&a, &b, &SsimParams::default())
+    );
+
+    // Array-valued operations: the difference of two fields, computed
+    // entirely in compressed space (negation + addition).
+    let diff = ca.sub(&cb).unwrap();
+    println!(
+        "\n‖a − b‖₂ via compressed subtraction: {:.6} (ref {:.6})",
+        diff.l2_norm(),
+        reduce::norm_l2(&a.sub(&b))
+    );
+
+    // Error accounting: bounds from §IV-D, verified against the actual
+    // decompression error.
+    let (c2, report) = compress_with_report::<f32, i16>(&a, &settings).unwrap();
+    let d = c2.decompress();
+    let actual_linf = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
+    println!("\nerror report:");
+    println!("  L∞ bound {:.3e}, actual L∞ {actual_linf:.3e}", report.linf_bound());
+    println!(
+        "  L2 (coefficient-space) {:.3e}, actual L2 {:.3e}",
+        report.total_coeff_l2,
+        reduce::norm_l2(&a.sub(&d))
+    );
+
+    // Serialization round-trip.
+    let bytes = ca.to_bytes();
+    let back = CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap();
+    assert_eq!(back, ca);
+    println!("\nserialization round-trip OK ({} bytes)", bytes.len());
+}

@@ -1,0 +1,73 @@
+//! The paper's introductory use case (§I): run a shallow-water simulation
+//! at two working precisions ("two movies"), keep every snapshot
+//! *compressed*, and find the time at which the two time series deviate
+//! beyond a threshold — using compressed-space L2 distance (whole-surface
+//! view) and the approximate Wasserstein distance (distribution view),
+//! without ever decompressing the archive.
+//!
+//! Run with: `cargo run --release --example shallow_water_divergence`
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_datasets::shallow_water::{ShallowWater, SwConfig};
+use blazr_precision::F16;
+
+fn main() {
+    let cfg = SwConfig {
+        nx: 48,
+        ny: 96,
+        ..SwConfig::default()
+    };
+    let settings = Settings::new(vec![16, 16]).unwrap();
+    let snapshot_every = 50;
+    let snapshots = 40;
+
+    println!("running FP16 and FP32 simulations, archiving compressed snapshots…");
+    let mut lo = ShallowWater::<F16>::new(cfg.clone());
+    let mut hi = ShallowWater::<f32>::new(cfg);
+    // The archive holds only compressed arrays — this is the workflow the
+    // paper motivates: time series stay compressed, analysis happens in
+    // compressed space.
+    let mut archive: Vec<(usize, CompressedArray<f32, i16>, CompressedArray<f32, i16>)> =
+        Vec::new();
+    for s in 1..=snapshots {
+        lo.run(snapshot_every);
+        hi.run(snapshot_every);
+        let step = s * snapshot_every;
+        let c16 = compress(&lo.surface_height(), &settings).unwrap();
+        let c32 = compress(&hi.surface_height(), &settings).unwrap();
+        archive.push((step, c16, c32));
+    }
+    let stored: usize = archive
+        .iter()
+        .map(|(_, a, b)| (a.payload_bits() + b.payload_bits()) as usize / 8)
+        .sum();
+    let raw = snapshots * 2 * 48 * 96 * 8;
+    println!(
+        "archive: {} snapshots, {:.1} KiB compressed (raw would be {:.1} KiB, {:.1}×)",
+        snapshots,
+        stored as f64 / 1024.0,
+        raw as f64 / 1024.0,
+        raw as f64 / stored as f64
+    );
+
+    println!("\n{:>6} {:>14} {:>16}", "step", "L2 distance", "Wasserstein p=2");
+    let mut divergence_step = None;
+    // Threshold: relative to the field magnitude at each step.
+    for (step, c16, c32) in &archive {
+        let l2 = c32.sub(c16).unwrap().l2_norm() as f64;
+        let scale = c32.l2_norm() as f64;
+        let w2 = c32.wasserstein(c16, 2.0).unwrap();
+        let rel = l2 / scale.max(1e-30);
+        println!("{step:>6} {l2:>14.5} {w2:>16.3e}   (relative {rel:.3})");
+        if divergence_step.is_none() && rel > 0.05 {
+            divergence_step = Some(*step);
+        }
+    }
+    match divergence_step {
+        Some(s) => println!(
+            "\nthe FP16 movie deviates beyond 5% of the field norm at step {s} — \
+             detected without decompressing a single snapshot"
+        ),
+        None => println!("\nno deviation beyond 5% within this horizon"),
+    }
+}

@@ -1,0 +1,3 @@
+//! Root integration package for the blazr workspace. See README.md.
+#![forbid(unsafe_code)]
+pub use blazr as core;

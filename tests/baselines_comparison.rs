@@ -1,0 +1,130 @@
+//! Integration: the comparison codecs behave the way the paper's related
+//! work section describes, and the headline system's distinguishing
+//! features hold against them.
+
+use blazr::{compress, Settings};
+use blazr_baselines::blaz::BlazCompressed;
+use blazr_baselines::szoid::Szoid;
+use blazr_baselines::zfpoid::Zfpoid;
+use blazr_datasets::gradient::hypercube;
+use blazr_tensor::{reduce, NdArray};
+use blazr_util::rng::Xoshiro256pp;
+use blazr_util::stats::rms_diff;
+
+#[test]
+fn zfpoid_rates_give_paper_ratios() {
+    // Fig. 3 caption: 8/16/32 bits per scalar ⇒ ratios ≈ 8/4/2 from FP64.
+    let a = hypercube(64, 2);
+    for (rate, expect) in [(8u32, 8.0f64), (16, 4.0), (32, 2.0)] {
+        let bytes = Zfpoid::fixed_rate(rate).compress(&a);
+        let ratio = (a.len() * 8) as f64 / bytes.len() as f64;
+        assert!(
+            (ratio - expect).abs() / expect < 0.05,
+            "rate {rate}: ratio {ratio} (expect ≈{expect})"
+        );
+    }
+}
+
+#[test]
+fn blazr_beats_blaz_accuracy_at_comparable_ratio() {
+    // Same block size (8×8), same index width (int8). Blaz prunes 36/64
+    // and differentiates; blazr keeps all 64. Compare at blazr *with*
+    // pruning to similar ratio: keep 28 of 64 like Blaz does.
+    let a = NdArray::from_fn(vec![64, 64], |i| {
+        ((i[0] as f64) / 11.0).sin() + ((i[1] as f64) / 7.0).cos()
+    });
+    let mask = blazr::PruningMask::drop_high_frequency_corner(&[8, 8], &[6, 6]).unwrap();
+    let s = Settings::new(vec![8, 8]).unwrap().with_mask(mask).unwrap();
+    let ours = compress::<f64, i8>(&a, &s).unwrap();
+    let theirs = BlazCompressed::compress(&a);
+    let e_ours = rms_diff(a.as_slice(), ours.decompress().as_slice());
+    let e_theirs = rms_diff(a.as_slice(), theirs.decompress().as_slice());
+    assert!(
+        e_ours < e_theirs,
+        "blazr rms {e_ours} should beat Blaz rms {e_theirs}"
+    );
+}
+
+#[test]
+fn szoid_enforces_bounds_where_blazr_does_not() {
+    // The §III contrast: SZ guarantees an L∞ bound by varying its ratio;
+    // PyBlaz fixes the ratio and lets the error float.
+    let mut rng = Xoshiro256pp::seed_from_u64(5);
+    let a = NdArray::from_fn(vec![32, 32], |_| rng.uniform_in(-1.0, 1.0));
+    let eps = 1e-4;
+    let (bytes, stats) = Szoid::new(eps).compress(&a);
+    let d = Szoid::decompress(&bytes).unwrap();
+    let sz_linf = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
+    assert!(sz_linf <= eps * (1.0 + 1e-12));
+    assert!(stats.ratio > 1.0);
+
+    let c = compress::<f64, i8>(&a, &Settings::new(vec![8, 8]).unwrap()).unwrap();
+    let bl_linf =
+        blazr_util::stats::max_abs_diff(a.as_slice(), c.decompress().as_slice());
+    // blazr's int8 error on noise is far above eps — but its ratio was
+    // fixed in advance, which SZ's is not.
+    assert!(bl_linf > eps);
+}
+
+#[test]
+fn only_blazr_supports_the_full_operation_repertoire() {
+    // Not a compile-time tautology: this documents the capability gap the
+    // paper's Table I draws. Blaz supports add/mul_scalar (both tested in
+    // its module); zfpoid and szoid expose no compressed-space operations
+    // at all. Here we confirm blazr's repertoire composes on data the
+    // baselines also handle.
+    let a = hypercube(32, 2);
+    let b = NdArray::from_fn(vec![32, 32], |i| 1.0 - hypercube(32, 2).get(i));
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let ca = compress::<f64, i16>(&a, &s).unwrap();
+    let cb = compress::<f64, i16>(&b, &s).unwrap();
+    let _ = ca.dot(&cb).unwrap();
+    let _ = ca.ssim(&cb, &Default::default()).unwrap();
+    let _ = ca.wasserstein(&cb, 2.0).unwrap();
+    let _ = ca.covariance(&cb).unwrap();
+}
+
+#[test]
+fn zfpoid_accuracy_beats_blazr_at_matched_ratio_on_smooth_data() {
+    // ZFP's embedded coding spends bits adaptively; at matched ratio on
+    // smooth data it should be at least competitive with fixed binning.
+    // (The paper never claims PyBlaz wins on ratio/accuracy — its pitch is
+    // the operation repertoire; this test keeps us honest about that.)
+    let a = hypercube(64, 2);
+    let zfp = Zfpoid::fixed_rate(16); // ratio 4
+    let dz = Zfpoid::decompress(&zfp.compress(&a)).unwrap();
+    let e_zfp = rms_diff(a.as_slice(), dz.as_slice());
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let c = compress::<f32, i16>(&a, &s).unwrap(); // ratio ≈ 3.9
+    let e_blazr = rms_diff(a.as_slice(), c.decompress().as_slice());
+    assert!(
+        e_zfp < e_blazr * 10.0,
+        "sanity: zfp {e_zfp} vs blazr {e_blazr}"
+    );
+}
+
+#[test]
+fn all_codecs_handle_the_gradient_family() {
+    for d in 1..=3usize {
+        let a = hypercube(16, d);
+        // zfpoid
+        let dz = Zfpoid::decompress(&Zfpoid::fixed_rate(16).compress(&a)).unwrap();
+        assert!(rms_diff(a.as_slice(), dz.as_slice()) < 1e-3, "zfpoid d={d}");
+        // szoid
+        let (bytes, _) = Szoid::new(1e-4).compress(&a);
+        let ds = Szoid::decompress(&bytes).unwrap();
+        assert!(rms_diff(a.as_slice(), ds.as_slice()) <= 1e-4, "szoid d={d}");
+        // blazr
+        let s = Settings::new(vec![4; d]).unwrap();
+        let c = compress::<f64, i16>(&a, &s).unwrap();
+        assert!(
+            rms_diff(a.as_slice(), c.decompress().as_slice()) < 1e-3,
+            "blazr d={d}"
+        );
+        // blaz (2-D only)
+        if d == 2 {
+            let db = BlazCompressed::compress(&a).decompress();
+            assert!(reduce::norm_l2(&a.sub(&db)) < reduce::norm_l2(&a), "blaz");
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Integration: the paper's differentiability claim (§IV, Table I
+//! discussion) — "All of the operations, except the approximate
+//! Wasserstein distance, are differentiable."
+//!
+//! PyBlaz inherits this from PyTorch autograd; here it falls out of the
+//! codec's genericity: compressing a [`blazr::Dual`]-valued array
+//! propagates a forward-mode directional derivative through the transform,
+//! the per-block scales, and every compressed-space operation. Binning
+//! (integer rounding) is treated straight-through, exactly as autograd
+//! treats `round()`.
+//!
+//! Each test checks an analytic dual derivative against central finite
+//! differences of the *whole compressed pipeline* evaluated in plain f64.
+
+use blazr::{compress, compress_values, CompressedArray, Dual, Settings};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+
+/// Base array plus perturbation direction.
+fn setup(seed: u64) -> (NdArray<f64>, NdArray<f64>) {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let a = NdArray::from_fn(vec![16, 16], |_| rng.uniform_in(0.5, 1.5));
+    let dir = NdArray::from_fn(vec![16, 16], |_| rng.uniform_in(-1.0, 1.0));
+    (a, dir)
+}
+
+fn dual_array(a: &NdArray<f64>, dir: &NdArray<f64>) -> NdArray<Dual> {
+    a.zip_map(dir, Dual::with_deriv)
+}
+
+/// Evaluates `f(compressed(a + t·dir))` at ±h for central differences.
+fn central_diff(
+    a: &NdArray<f64>,
+    dir: &NdArray<f64>,
+    h: f64,
+    f: impl Fn(&CompressedArray<f64, i16>) -> f64,
+) -> f64 {
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let plus = a.zip_map(dir, |x, d| x + h * d);
+    let minus = a.zip_map(dir, |x, d| x - h * d);
+    let cp = compress::<f64, i16>(&plus, &s).unwrap();
+    let cm = compress::<f64, i16>(&minus, &s).unwrap();
+    (f(&cp) - f(&cm)) / (2.0 * h)
+}
+
+/// Because binning is a step function, finite differences across a bin
+/// boundary are noisy; we accept agreement within a tolerance that covers
+/// the quantization granularity of int16 binning on O(1) data.
+const TOL: f64 = 2e-2;
+
+#[test]
+fn mean_gradient_matches_finite_differences() {
+    let (a, dir) = setup(1);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let analytic = cd.mean().unwrap().deriv;
+    let fd = central_diff(&a, &dir, 1e-4, |c| c.mean().unwrap());
+    assert!((analytic - fd).abs() < TOL, "dual {analytic} vs fd {fd}");
+    // The true derivative of the mean in direction `dir` is mean(dir).
+    let exact = blazr_tensor::reduce::mean(&dir);
+    assert!((analytic - exact).abs() < TOL, "dual {analytic} vs exact {exact}");
+}
+
+#[test]
+fn l2_norm_gradient_matches_finite_differences() {
+    let (a, dir) = setup(2);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let analytic = cd.l2_norm().deriv;
+    let fd = central_diff(&a, &dir, 1e-4, |c| c.l2_norm());
+    // d‖A‖/dt = ⟨A, dir⟩ / ‖A‖.
+    let exact =
+        blazr_tensor::reduce::dot(&a, &dir) / blazr_tensor::reduce::norm_l2(&a);
+    assert!((analytic - fd).abs() < TOL * 10.0, "dual {analytic} vs fd {fd}");
+    assert!(
+        (analytic - exact).abs() < TOL * 10.0,
+        "dual {analytic} vs exact {exact}"
+    );
+}
+
+#[test]
+fn variance_gradient_matches_analytic() {
+    let (a, dir) = setup(3);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let analytic = cd.variance().unwrap().deriv;
+    // d var/dt = 2·cov(A, dir) for population variance.
+    let exact = 2.0 * blazr_tensor::reduce::covariance(&a, &dir);
+    assert!(
+        (analytic - exact).abs() < TOL * 10.0,
+        "dual {analytic} vs exact {exact}"
+    );
+}
+
+#[test]
+fn dot_gradient_splits_between_operands() {
+    let (a, dir) = setup(4);
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    let b = NdArray::from_fn(vec![16, 16], |_| rng.uniform_in(0.5, 1.5));
+    let s = Settings::new(vec![4, 4]).unwrap();
+    // Perturb only A.
+    let ca = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let cb = compress_values::<Dual, i16>(
+        &b.map(Dual::constant),
+        &s,
+    )
+    .unwrap();
+    let analytic = ca.dot(&cb).unwrap().deriv;
+    // d⟨A,B⟩/dt = ⟨dir, B⟩. The compressed gradient is the
+    // straight-through estimator: tangents flow only through the per-block
+    // scales N (bin indices are integers, exactly as in PyTorch autograd),
+    // so it is a *biased* estimate — good to ~15% here, like PyBlaz's.
+    let exact = blazr_tensor::reduce::dot(&dir, &b);
+    let scale = exact.abs().max(1.0);
+    assert!(
+        (analytic - exact).abs() / scale < 0.15,
+        "dual {analytic} vs exact {exact}"
+    );
+    assert!(analytic != 0.0, "gradient must flow");
+}
+
+#[test]
+fn scalar_multiplication_scales_gradients() {
+    let (a, dir) = setup(5);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let n0 = cd.l2_norm().deriv;
+    let n3 = cd.mul_scalar(3.0).l2_norm().deriv;
+    assert!(
+        (n3 - 3.0 * n0).abs() < 1e-9 * n0.abs().max(1.0),
+        "{n3} vs 3×{n0}"
+    );
+}
+
+#[test]
+fn constant_inputs_have_zero_gradients() {
+    let (a, _) = setup(6);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&a.map(Dual::constant), &s).unwrap();
+    assert_eq!(cd.mean().unwrap().deriv, 0.0);
+    assert_eq!(cd.l2_norm().deriv, 0.0);
+    assert_eq!(cd.variance().unwrap().deriv, 0.0);
+}
+
+#[test]
+fn decompression_propagates_tangents() {
+    // Compress a Dual field, pull out the specified coefficients, and
+    // confirm the tangent of the DC coefficient equals the tangent of the
+    // block sum scaled by 1/√(Πi).
+    let (a, dir) = setup(7);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    let cd = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
+    let coeffs = cd.specified_coefficients();
+    let dc = coeffs.block(0)[0];
+    let mut block_dir_sum = 0.0;
+    for i in 0..4 {
+        for j in 0..4 {
+            block_dir_sum += dir.get(&[i, j]);
+        }
+    }
+    let exact = block_dir_sum / 4.0; // √(Πi) = 4
+    assert!(
+        (dc.deriv - exact).abs() < 0.05 * exact.abs().max(1.0),
+        "dc tangent {} vs exact {exact}",
+        dc.deriv
+    );
+}

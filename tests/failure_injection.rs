@@ -1,0 +1,115 @@
+//! Failure injection: corrupted, truncated, and adversarial inputs must
+//! produce errors (or degraded-but-valid outputs), never panics.
+
+use blazr::dynamic::from_bytes_dyn;
+use blazr::{compress, CompressedArray, Settings};
+use blazr_baselines::szoid::Szoid;
+use blazr_baselines::zfpoid::Zfpoid;
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+fn compressed_bytes() -> Vec<u8> {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBAD);
+    let a = NdArray::from_fn(vec![12, 12], |_| rng.uniform());
+    compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap())
+        .unwrap()
+        .to_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary byte soup must never panic the typed deserializer.
+    #[test]
+    fn typed_deserializer_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = CompressedArray::<f32, i16>::from_bytes(&bytes);
+        let _ = CompressedArray::<f64, i8>::from_bytes(&bytes);
+    }
+
+    /// Arbitrary byte soup must never panic the dynamic deserializer.
+    #[test]
+    fn dynamic_deserializer_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = from_bytes_dyn(&bytes);
+    }
+
+    /// Single bit flips in a valid stream: either a clean error or a
+    /// structurally valid result — never a panic.
+    #[test]
+    fn bit_flips_never_panic(bit in 0usize..1000) {
+        let mut bytes = compressed_bytes();
+        let pos = bit % (bytes.len() * 8);
+        bytes[pos / 8] ^= 1 << (pos % 8);
+        if let Ok(c) = from_bytes_dyn(&bytes) {
+            // Whatever decoded must decompress without panicking —
+            // unless the flipped bit inflated the claimed shape into
+            // absurd allocations, which the size guards should reject.
+            let shape_len: usize = c.shape().iter().product();
+            if shape_len < 1 << 20 {
+                let _ = c.decompress();
+            }
+        }
+    }
+
+    /// Truncation at every prefix length: never a panic.
+    #[test]
+    fn truncations_never_panic(cut in 0usize..600) {
+        let bytes = compressed_bytes();
+        let cut = cut.min(bytes.len());
+        let _ = from_bytes_dyn(&bytes[..cut]);
+    }
+
+    /// zfpoid decompression survives garbage and bit flips.
+    #[test]
+    fn zfpoid_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Zfpoid::decompress(&bytes);
+    }
+
+    /// szoid decompression survives garbage.
+    #[test]
+    fn szoid_decoder_survives_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Szoid::decompress(&bytes);
+    }
+
+    /// Extreme values (subnormals, huge magnitudes, mixed signs) round-trip
+    /// without panicking in any codec.
+    #[test]
+    fn extreme_values_do_not_panic(exp in -300i32..300, seed in 0u64..100) {
+        let scale = 10f64.powi(exp);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        let a = NdArray::from_fn(vec![8, 8], |_| rng.uniform_in(-1.0, 1.0) * scale);
+        let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+        let _ = c.decompress();
+        let _ = Zfpoid::decompress(&Zfpoid::fixed_rate(16).compress(&a));
+        let (bytes, _) = Szoid::new(scale.max(1e-300) * 1e-3).compress(&a);
+        let _ = Szoid::decompress(&bytes);
+    }
+}
+
+#[test]
+fn non_finite_inputs_are_survivable() {
+    // NaN and Inf in the input: the codec mirrors PyBlaz (propagates
+    // non-finite scales, producing non-finite blocks) without panicking.
+    let mut a = NdArray::from_fn(vec![8, 8], |i| i[0] as f64);
+    a.set(&[2, 2], f64::NAN);
+    a.set(&[5, 5], f64::INFINITY);
+    let c = compress::<f64, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+    let d = c.decompress();
+    assert_eq!(d.shape(), &[8, 8]);
+    // The NaN block decodes as non-finite; untouched blocks stay clean.
+    assert!(d.get(&[6, 1]).is_finite() || d.get(&[1, 6]).is_finite());
+    let _ = c.l2_norm();
+    let _ = c.mean();
+}
+
+#[test]
+fn zero_sized_inputs_are_rejected_or_handled() {
+    // A shape with a zero extent has no elements; blocking produces zero
+    // blocks and everything stays consistent.
+    let a = NdArray::<f64>::from_vec(vec![0, 4], vec![]);
+    let c = compress::<f32, i8>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+    assert_eq!(c.block_count(), 0);
+    let d = c.decompress();
+    assert_eq!(d.shape(), &[0, 4]);
+    assert_eq!(d.len(), 0);
+}

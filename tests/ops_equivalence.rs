@@ -1,0 +1,171 @@
+//! Integration: Table I's "source of error: none" claims.
+//!
+//! For every such operation, the compressed-space result must equal the
+//! same operation applied to the *decompressed* arrays, to floating-point
+//! precision — i.e. the operation adds no error beyond compression. For
+//! "rebinning" operations, the extra error must be within one bin width.
+
+use blazr::ops::SsimParams;
+use blazr::{compress, CompressedArray, Settings};
+use blazr_tensor::{reduce, NdArray};
+use blazr_util::rng::Xoshiro256pp;
+
+fn setup(seed: u64) -> (NdArray<f64>, NdArray<f64>, CompressedArray<f64, i16>, CompressedArray<f64, i16>)
+{
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let a = NdArray::from_fn(vec![40, 24], |_| rng.uniform());
+    let b = NdArray::from_fn(vec![40, 24], |_| rng.uniform());
+    let s = Settings::new(vec![8, 8]).unwrap();
+    let ca = compress(&a, &s).unwrap();
+    let cb = compress(&b, &s).unwrap();
+    (a, b, ca, cb)
+}
+
+const FP: f64 = 1e-9;
+
+#[test]
+fn dot_is_exact_wrt_compressed_data() {
+    let (_, _, ca, cb) = setup(1);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    assert!((ca.dot(&cb).unwrap() - reduce::dot(&da, &db)).abs() < FP);
+}
+
+#[test]
+fn l2_norm_is_exact_wrt_compressed_data() {
+    let (_, _, ca, _) = setup(2);
+    let da = ca.decompress();
+    assert!((ca.l2_norm() - reduce::norm_l2(&da)).abs() < FP);
+}
+
+#[test]
+fn mean_is_exact_wrt_compressed_data() {
+    let (_, _, ca, _) = setup(3);
+    let da = ca.decompress();
+    assert!((ca.mean().unwrap() - reduce::mean(&da)).abs() < FP);
+}
+
+#[test]
+fn variance_is_exact_wrt_compressed_data() {
+    let (_, _, ca, _) = setup(4);
+    let da = ca.decompress();
+    assert!((ca.variance().unwrap() - reduce::variance(&da)).abs() < FP);
+}
+
+#[test]
+fn covariance_is_exact_wrt_compressed_data() {
+    let (_, _, ca, cb) = setup(5);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    assert!((ca.covariance(&cb).unwrap() - reduce::covariance(&da, &db)).abs() < FP);
+}
+
+#[test]
+fn cosine_similarity_is_exact_wrt_compressed_data() {
+    let (_, _, ca, cb) = setup(6);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    assert!(
+        (ca.cosine_similarity(&cb).unwrap() - reduce::cosine_similarity(&da, &db)).abs() < FP
+    );
+}
+
+#[test]
+fn ssim_is_exact_wrt_compressed_data() {
+    let (_, _, ca, cb) = setup(7);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    let p = SsimParams::default();
+    assert!((ca.ssim(&cb, &p).unwrap() - reduce::ssim(&da, &db, &p)).abs() < FP);
+}
+
+#[test]
+fn negation_and_scalar_multiplication_are_exact() {
+    let (_, _, ca, _) = setup(8);
+    let da = ca.decompress();
+    assert_eq!(ca.negate().decompress().as_slice(), da.neg().as_slice());
+    let lhs = ca.mul_scalar(2.5).decompress();
+    let rhs = da.mul_scalar(2.5);
+    for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+        assert!((x - y).abs() < FP);
+    }
+}
+
+#[test]
+fn addition_error_is_within_rebinning_budget() {
+    let (_, _, ca, cb) = setup(9);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    let sum = ca.add(&cb).unwrap();
+    // Rebinning error per coefficient ≤ new N/(2r); after the inverse
+    // transform, per element ≤ Σ|Δc| ≤ kept · N/(2r). Use a conservative
+    // multiple of the bin width times √(block_len).
+    let max_n = sum
+        .biggest()
+        .iter()
+        .map(|n| n.abs())
+        .fold(0.0f64, f64::max);
+    let budget = max_n / (2.0 * 32767.0) * 64.0;
+    let err = blazr_util::stats::max_abs_diff(
+        sum.decompress().as_slice(),
+        da.add(&db).as_slice(),
+    );
+    assert!(err <= budget, "err {err} > budget {budget}");
+}
+
+#[test]
+fn scalar_addition_matches_mean_shift() {
+    let (_, _, ca, _) = setup(10);
+    let shifted = ca.add_scalar(1.25).unwrap();
+    let m0 = ca.mean().unwrap();
+    let m1 = shifted.mean().unwrap();
+    assert!((m1 - m0 - 1.25).abs() < 1e-3, "shift {}", m1 - m0);
+}
+
+#[test]
+fn operation_algebra_composes() {
+    // (2a − b) compressed vs decompressed, composed entirely in
+    // compressed space.
+    let (_, _, ca, cb) = setup(11);
+    let da = ca.decompress();
+    let db = cb.decompress();
+    let composed = ca.mul_scalar(2.0).sub(&cb).unwrap();
+    let reference = da.mul_scalar(2.0).sub(&db);
+    let err = blazr_util::stats::rms_diff(
+        composed.decompress().as_slice(),
+        reference.as_slice(),
+    );
+    assert!(err < 1e-3, "rms {err}");
+}
+
+#[test]
+fn block_means_and_variances_are_consistent_with_decompressed() {
+    let (_, _, ca, _) = setup(12);
+    let da = ca.decompress();
+    let bm = ca.block_means().unwrap();
+    let bv = ca.block_variances().unwrap();
+    // Check the first block against the decompressed content.
+    let mut vals = Vec::new();
+    for i in 0..8 {
+        for j in 0..8 {
+            vals.push(da.get(&[i, j]));
+        }
+    }
+    let m: f64 = vals.iter().sum::<f64>() / 64.0;
+    let v: f64 = vals.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / 64.0;
+    assert!((bm[0] - m).abs() < 1e-9, "{} vs {m}", bm[0]);
+    assert!((bv[0] - v).abs() < 1e-9, "{} vs {v}", bv[0]);
+}
+
+#[test]
+fn wasserstein_against_block_mean_reference() {
+    // The approximation contract: the compressed-space Wasserstein equals
+    // the exact 1-D Wasserstein on the *block means* of the decompressed
+    // arrays.
+    let (_, _, ca, cb) = setup(13);
+    let got = ca.wasserstein(&cb, 3.0).unwrap();
+    let bma = ca.block_means().unwrap();
+    let bmb = cb.block_means().unwrap();
+    let expect = reduce::wasserstein_1d(&bma, &bmb, 3.0);
+    assert!((got - expect).abs() < 1e-12);
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the codec, the operations, and the
+//! baselines: invariants that must hold for *arbitrary* data, shapes, and
+//! settings.
+
+use blazr::{compress, compress_with_report, CompressedArray, PruningMask, Settings};
+use blazr_baselines::szoid::Szoid;
+use blazr_baselines::zfpoid::Zfpoid;
+use blazr_tensor::{reduce, NdArray};
+use proptest::prelude::*;
+
+/// Strategy: a small 2-D array with values in [−scale, scale].
+fn small_array() -> impl Strategy<Value = NdArray<f64>> {
+    (2usize..24, 2usize..24, 0.1f64..100.0).prop_flat_map(|(r, c, scale)| {
+        proptest::collection::vec(-1.0f64..1.0, r * c)
+            .prop_map(move |v| {
+                NdArray::from_vec(vec![r, c], v.into_iter().map(|x| x * scale).collect())
+            })
+    })
+}
+
+fn block_shape() -> impl Strategy<Value = Vec<usize>> {
+    prop_oneof![
+        Just(vec![2, 2]),
+        Just(vec![4, 4]),
+        Just(vec![8, 8]),
+        Just(vec![2, 8]),
+        Just(vec![4, 8]),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Decompression preserves shape, and its L2 error equals the
+    /// coefficient-space L2 error reported at compression (orthonormal
+    /// transform), for arbitrary data, shape, and block shape.
+    #[test]
+    fn l2_identity_holds(a in small_array(), bs in block_shape()) {
+        let s = Settings::new(bs).unwrap();
+        let (c, report) = compress_with_report::<f64, i16>(&a, &s).unwrap();
+        let d = c.decompress();
+        prop_assert_eq!(d.shape(), a.shape());
+        let l2 = reduce::norm_l2(&a.sub(&d));
+        // Padding regions also carry coefficient error; the report's total
+        // covers the padded domain, so it must be ≥ the cropped error and
+        // close when padding is small.
+        prop_assert!(l2 <= report.total_coeff_l2 * (1.0 + 1e-9) + 1e-12,
+            "decompressed L2 {} vs coefficient L2 {}", l2, report.total_coeff_l2);
+    }
+
+    /// The L∞ bound from the report holds on every element.
+    #[test]
+    fn linf_bound_holds(a in small_array(), bs in block_shape()) {
+        let s = Settings::new(bs).unwrap();
+        let (c, report) = compress_with_report::<f64, i8>(&a, &s).unwrap();
+        let d = c.decompress();
+        let err = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
+        prop_assert!(err <= report.linf_bound() * (1.0 + 1e-9) + 1e-12,
+            "err {} bound {}", err, report.linf_bound());
+    }
+
+    /// Negation is an exact involution in compressed space.
+    #[test]
+    fn negation_involution(a in small_array()) {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let c = compress::<f32, i16>(&a, &s).unwrap();
+        prop_assert_eq!(c.negate().negate(), c);
+    }
+
+    /// mul_scalar composes multiplicatively: (c·x)·y == c·(x·y) on
+    /// decompression (both paths are exact index/scale transforms).
+    #[test]
+    fn scalar_multiplication_composes(a in small_array(), x in -4.0f64..4.0, y in -4.0f64..4.0) {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let c = compress::<f64, i16>(&a, &s).unwrap();
+        let lhs = c.mul_scalar(x).mul_scalar(y).decompress();
+        let rhs = c.mul_scalar(x * y).decompress();
+        let worst = blazr_util::stats::max_abs_diff(lhs.as_slice(), rhs.as_slice());
+        // One extra rounding of N in the two-step path.
+        let scale = reduce::norm_linf(&a).max(1.0) * x.abs().max(1.0) * y.abs().max(1.0);
+        prop_assert!(worst <= 1e-9 * scale, "worst {} scale {}", worst, scale);
+    }
+
+    /// Addition commutes: A + B == B + A bit-for-bit.
+    #[test]
+    fn addition_commutes(a in small_array(), seed in 0u64..1000) {
+        let mut rng = blazr_util::rng::Xoshiro256pp::seed_from_u64(seed);
+        let b = NdArray::from_fn(a.shape().to_vec(), |_| rng.uniform_in(-1.0, 1.0));
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let ca = compress::<f64, i16>(&a, &s).unwrap();
+        let cb = compress::<f64, i16>(&b, &s).unwrap();
+        prop_assert_eq!(ca.add(&cb).unwrap(), cb.add(&ca).unwrap());
+    }
+
+    /// Serialization round-trips exactly for arbitrary inputs and masks.
+    #[test]
+    fn serialization_roundtrip(a in small_array(), kept in 1usize..16) {
+        let mask = PruningMask::keep_lowest_frequencies(&[4, 4], kept).unwrap();
+        let s = Settings::new(vec![4, 4]).unwrap().with_mask(mask).unwrap();
+        let c = compress::<f32, i8>(&a, &s).unwrap();
+        let back = CompressedArray::<f32, i8>::from_bytes(&c.to_bytes()).unwrap();
+        prop_assert_eq!(back, c);
+    }
+
+    /// The szoid error bound is honored for arbitrary data and bounds.
+    #[test]
+    fn szoid_bound_holds(a in small_array(), exp in -6i32..0) {
+        let eps = 10f64.powi(exp);
+        let (bytes, _) = Szoid::new(eps).compress(&a);
+        let d = Szoid::decompress(&bytes).unwrap();
+        for (x, y) in a.as_slice().iter().zip(d.as_slice()) {
+            prop_assert!((x - y).abs() <= eps * (1.0 + 1e-12),
+                "|{} - {}| > {}", x, y, eps);
+        }
+    }
+
+    /// zfpoid honors its exact bit budget for arbitrary data.
+    #[test]
+    fn zfpoid_rate_exact(a in small_array(), rate in 2u32..48) {
+        let codec = Zfpoid::fixed_rate(rate);
+        let bytes = codec.compress(&a);
+        let bits = codec.compressed_bits(a.shape());
+        prop_assert_eq!(bytes.len(), (bits as usize).div_ceil(8));
+        let d = Zfpoid::decompress(&bytes).unwrap();
+        prop_assert_eq!(d.shape(), a.shape());
+    }
+
+    /// L2 norm is absolutely homogeneous in compressed space:
+    /// ‖x·A‖ == |x|·‖A‖ (mul_scalar is exact).
+    #[test]
+    fn norm_homogeneity(a in small_array(), x in -8.0f64..8.0) {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let c = compress::<f64, i32>(&a, &s).unwrap();
+        let lhs = c.mul_scalar(x).l2_norm();
+        let rhs = x.abs() * c.l2_norm();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0), "{} vs {}", lhs, rhs);
+    }
+
+    /// Cauchy–Schwarz in compressed space: |⟨A,B⟩| ≤ ‖A‖·‖B‖.
+    #[test]
+    fn cauchy_schwarz(a in small_array(), seed in 0u64..1000) {
+        let mut rng = blazr_util::rng::Xoshiro256pp::seed_from_u64(seed);
+        let b = NdArray::from_fn(a.shape().to_vec(), |_| rng.uniform_in(-1.0, 1.0));
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let ca = compress::<f64, i32>(&a, &s).unwrap();
+        let cb = compress::<f64, i32>(&b, &s).unwrap();
+        let dot = ca.dot(&cb).unwrap().abs();
+        let bound = ca.l2_norm() * cb.l2_norm();
+        prop_assert!(dot <= bound * (1.0 + 1e-9), "{} vs {}", dot, bound);
+    }
+
+    /// Variance is non-negative for arbitrary inputs.
+    #[test]
+    fn variance_nonnegative(a in small_array()) {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let c = compress::<f64, i16>(&a, &s).unwrap();
+        prop_assert!(c.variance().unwrap() >= -1e-12);
+    }
+}

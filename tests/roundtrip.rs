@@ -1,0 +1,151 @@
+//! Integration: compress→decompress roundtrips across dimensionalities,
+//! block shapes, transforms, masks, and type parameters.
+
+use blazr::{compress, PruningMask, Settings, TransformKind, BF16, F16};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use blazr_util::stats::{max_abs_diff, rms_diff};
+
+fn random(shape: &[usize], seed: u64) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    NdArray::from_fn(shape.to_vec(), |_| rng.uniform_in(-1.0, 1.0))
+}
+
+#[test]
+fn one_through_four_dimensions() {
+    for (shape, block) in [
+        (vec![1000], vec![8]),
+        (vec![100, 100], vec![8, 8]),
+        (vec![20, 30, 40], vec![4, 4, 4]),
+        (vec![6, 10, 12, 8], vec![2, 4, 4, 4]),
+    ] {
+        let a = random(&shape, 1);
+        let c = compress::<f64, i16>(&a, &Settings::new(block).unwrap()).unwrap();
+        let d = c.decompress();
+        assert_eq!(d.shape(), a.shape());
+        let err = max_abs_diff(a.as_slice(), d.as_slice());
+        assert!(err < 5e-3, "shape {shape:?}: err {err}");
+    }
+}
+
+#[test]
+fn haar_transform_roundtrips() {
+    let a = random(&[64, 64], 2);
+    let s = Settings::new(vec![8, 8])
+        .unwrap()
+        .with_transform(TransformKind::Haar);
+    let c = compress::<f64, i16>(&a, &s).unwrap();
+    let err = max_abs_diff(a.as_slice(), c.decompress().as_slice());
+    assert!(err < 5e-3, "err {err}");
+}
+
+#[test]
+fn identity_transform_roundtrips() {
+    let a = random(&[32, 32], 3);
+    let s = Settings::new(vec![4, 4])
+        .unwrap()
+        .with_transform(TransformKind::Identity);
+    let c = compress::<f64, i16>(&a, &s).unwrap();
+    let err = max_abs_diff(a.as_slice(), c.decompress().as_slice());
+    assert!(err < 5e-3, "err {err}");
+}
+
+#[test]
+fn all_sixteen_type_combinations_roundtrip() {
+    use blazr::dynamic::compress_dyn;
+    use blazr::{IndexType, ScalarType};
+    let a = random(&[24, 24], 4).map(|x| x * 0.5 + 0.5); // [0,1]
+    let s = Settings::new(vec![8, 8]).unwrap();
+    for ft in ScalarType::ALL {
+        for it in IndexType::ALL {
+            let c = compress_dyn(&a, &s, ft, it).unwrap();
+            let d = c.decompress();
+            let err = rms_diff(a.as_slice(), d.as_slice());
+            let tolerance = match ft {
+                ScalarType::BF16 => 0.05,
+                ScalarType::F16 => 0.02,
+                _ => 0.01,
+            };
+            assert!(err < tolerance, "{ft}/{it}: rms {err}");
+        }
+    }
+}
+
+#[test]
+fn non_hypercubic_blocks_roundtrip() {
+    let a = random(&[36, 100, 100], 5);
+    for block in [vec![4, 8, 8], vec![4, 16, 16], vec![8, 16, 16]] {
+        let c = compress::<f32, i16>(&a, &Settings::new(block.clone()).unwrap()).unwrap();
+        let d = c.decompress();
+        let err = rms_diff(a.as_slice(), d.as_slice());
+        assert!(err < 2e-3, "block {block:?}: rms {err}");
+    }
+}
+
+#[test]
+fn pruning_trades_error_for_ratio_monotonically() {
+    let a = random(&[64, 64], 6);
+    let mut last_err = 0.0f64;
+    let mut last_ratio = 0.0f64;
+    for kept in [64usize, 32, 16, 8, 4] {
+        let mask = PruningMask::keep_lowest_frequencies(&[8, 8], kept).unwrap();
+        let s = Settings::new(vec![8, 8]).unwrap().with_mask(mask).unwrap();
+        let c = compress::<f64, i16>(&a, &s).unwrap();
+        let err = rms_diff(a.as_slice(), c.decompress().as_slice());
+        let ratio = c.compression_ratio();
+        assert!(
+            err >= last_err,
+            "error should grow as pruning deepens: {err} < {last_err} (kept {kept})"
+        );
+        assert!(
+            ratio > last_ratio,
+            "ratio should grow as pruning deepens: {ratio} <= {last_ratio} (kept {kept})"
+        );
+        last_err = err;
+        last_ratio = ratio;
+    }
+}
+
+#[test]
+fn pruning_favors_smooth_data_over_noise() {
+    // Unlike entropy-coded compressors, PyBlaz's *binning* error depends on
+    // each block's peak-to-typical coefficient ratio, not on
+    // compressibility — so unpruned smooth and noisy data land at similar
+    // error. The smoothness advantage appears under *pruning*: dropping
+    // high frequencies barely hurts smooth data and devastates noise.
+    let smooth = NdArray::from_fn(vec![64, 64], |i| {
+        ((i[0] as f64) / 20.0).sin() + ((i[1] as f64) / 15.0).cos()
+    });
+    let noise = random(&[64, 64], 7);
+    let mask = PruningMask::keep_low_frequency_box(&[8, 8], &[4, 4]).unwrap();
+    let s = Settings::new(vec![8, 8]).unwrap().with_mask(mask).unwrap();
+    let es = rms_diff(
+        smooth.as_slice(),
+        compress::<f64, i16>(&smooth, &s).unwrap().decompress().as_slice(),
+    ) / blazr_tensor::reduce::std_dev(&smooth);
+    let en = rms_diff(
+        noise.as_slice(),
+        compress::<f64, i16>(&noise, &s).unwrap().decompress().as_slice(),
+    ) / blazr_tensor::reduce::std_dev(&noise);
+    assert!(
+        es * 5.0 < en,
+        "pruned smooth {es} should be ≫ better than pruned noise {en}"
+    );
+}
+
+#[test]
+fn half_precision_types_roundtrip_reasonably() {
+    let a = random(&[32, 32], 8).map(|x| x * 0.5 + 0.5);
+    let s = Settings::new(vec![8, 8]).unwrap();
+    let e16 = rms_diff(
+        a.as_slice(),
+        compress::<F16, i16>(&a, &s).unwrap().decompress().as_slice(),
+    );
+    let ebf = rms_diff(
+        a.as_slice(),
+        compress::<BF16, i16>(&a, &s).unwrap().decompress().as_slice(),
+    );
+    // Fig. 5 ordering: f16 < bf16 error on unit-scale data.
+    assert!(e16 < ebf, "f16 {e16} vs bf16 {ebf}");
+    assert!(ebf < 0.1, "bf16 should still be usable: {ebf}");
+}

@@ -211,7 +211,11 @@ fn lorenzo_predict(recon: &[f64], shape: &[usize], idx: &[usize]) -> f64 {
         if !ok {
             continue;
         }
-        let sign = if subset.count_ones() % 2 == 1 { 1.0 } else { -1.0 };
+        let sign = if subset.count_ones() % 2 == 1 {
+            1.0
+        } else {
+            -1.0
+        };
         pred += sign * recon[ravel(&neighbor[..d], shape)];
     }
     pred
@@ -238,12 +242,7 @@ mod tests {
         let (bytes, stats) = codec.compress(orig);
         let back = Szoid::decompress(&bytes).expect("valid stream");
         assert_eq!(back.shape(), orig.shape());
-        for (i, (&x, &y)) in orig
-            .as_slice()
-            .iter()
-            .zip(back.as_slice())
-            .enumerate()
-        {
+        for (i, (&x, &y)) in orig.as_slice().iter().zip(back.as_slice()).enumerate() {
             assert!(
                 (x - y).abs() <= eps * (1.0 + 1e-12),
                 "element {i}: |{x} − {y}| > {eps}"
@@ -278,10 +277,7 @@ mod tests {
         let a = smooth_3d(vec![24, 24, 12], 4);
         let loose = Szoid::new(1e-2).compress(&a).1.ratio;
         let tight = Szoid::new(1e-5).compress(&a).1.ratio;
-        assert!(
-            loose > tight,
-            "loose {loose} should beat tight {tight}"
-        );
+        assert!(loose > tight, "loose {loose} should beat tight {tight}");
     }
 
     #[test]

@@ -144,9 +144,7 @@ mod tests {
     fn roundtrip_max_err(d: usize, seed: u64, magnitude: i64) -> i64 {
         let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let n = BLOCK_EDGE.pow(d as u32);
-        let orig: Vec<i64> = (0..n)
-            .map(|_| rng.next_u64() as i64 % magnitude)
-            .collect();
+        let orig: Vec<i64> = (0..n).map(|_| rng.next_u64() as i64 % magnitude).collect();
         let mut block = orig.clone();
         forward(&mut block, d);
         inverse(&mut block, d);
@@ -201,9 +199,7 @@ mod tests {
         for d in 1..=3usize {
             let n = BLOCK_EDGE.pow(d as u32);
             let bound = 1i64 << 61;
-            let mut block: Vec<i64> = (0..n)
-                .map(|_| (rng.next_u64() as i64) % bound)
-                .collect();
+            let mut block: Vec<i64> = (0..n).map(|_| (rng.next_u64() as i64) % bound).collect();
             forward(&mut block, d);
             for &c in &block {
                 assert!(c.abs() <= i64::MAX / 2, "headroom exhausted: {c}");

@@ -143,10 +143,7 @@ impl Zfpoid {
             return None;
         }
         let block_shape = vec![BLOCK_EDGE; d];
-        let num_blocks: Vec<usize> = shape
-            .iter()
-            .map(|&s| s.div_ceil(BLOCK_EDGE))
-            .collect();
+        let num_blocks: Vec<usize> = shape.iter().map(|&s| s.div_ceil(BLOCK_EDGE)).collect();
         let mut blocked = Blocked::<f64>::zeros(num_blocks, block_shape);
         let size = blocked.block_len();
         let perm = sequency_order(d);
@@ -240,9 +237,7 @@ mod tests {
     fn gradient(shape: Vec<usize>) -> NdArray<f64> {
         // The §IV-E test array: constant gradient from 0 to 1.
         let denom: usize = shape.iter().map(|s| s - 1).sum::<usize>().max(1);
-        NdArray::from_fn(shape, |i| {
-            i.iter().sum::<usize>() as f64 / denom as f64
-        })
+        NdArray::from_fn(shape, |i| i.iter().sum::<usize>() as f64 / denom as f64)
     }
 
     fn random(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
@@ -270,7 +265,11 @@ mod tests {
             let codec = Zfpoid::fixed_rate(rate);
             let bytes = codec.compress(&a);
             let expect_bits = codec.compressed_bits(&[20, 20]);
-            assert_eq!(bytes.len(), (expect_bits as usize).div_ceil(8), "rate {rate}");
+            assert_eq!(
+                bytes.len(),
+                (expect_bits as usize).div_ceil(8),
+                "rate {rate}"
+            );
         }
     }
 
@@ -282,10 +281,7 @@ mod tests {
             let codec = Zfpoid::fixed_rate(rate);
             let d = Zfpoid::decompress(&codec.compress(&a)).unwrap();
             let err = rms_diff(a.as_slice(), d.as_slice());
-            assert!(
-                err < last || err == 0.0,
-                "rate {rate}: err {err} !< {last}"
-            );
+            assert!(err < last || err == 0.0, "rate {rate}: err {err} !< {last}");
             last = err;
         }
         assert!(last < 1e-6, "rate-32 error should be tiny, got {last}");
@@ -329,11 +325,15 @@ mod tests {
         let codec = Zfpoid::fixed_rate(8);
         let es = rms_diff(
             smooth.as_slice(),
-            Zfpoid::decompress(&codec.compress(&smooth)).unwrap().as_slice(),
+            Zfpoid::decompress(&codec.compress(&smooth))
+                .unwrap()
+                .as_slice(),
         ) / blazr_tensor::reduce::std_dev(&smooth);
         let en = rms_diff(
             noise.as_slice(),
-            Zfpoid::decompress(&codec.compress(&noise)).unwrap().as_slice(),
+            Zfpoid::decompress(&codec.compress(&noise))
+                .unwrap()
+                .as_slice(),
         ) / blazr_tensor::reduce::std_dev(&noise);
         assert!(es < en, "smooth rel {es} vs noise rel {en}");
     }

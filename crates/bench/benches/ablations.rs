@@ -41,7 +41,11 @@ fn bench_transforms(c: &mut Criterion) {
     let a = random_2d(512);
     let mut g = c.benchmark_group("ablation/transform-512x512");
     g.sample_size(10);
-    for kind in [TransformKind::Dct, TransformKind::Haar, TransformKind::Identity] {
+    for kind in [
+        TransformKind::Dct,
+        TransformKind::Haar,
+        TransformKind::Identity,
+    ] {
         let settings = Settings::new(vec![8, 8]).unwrap().with_transform(kind);
         g.bench_with_input(BenchmarkId::from_parameter(kind.name()), &a, |b, a| {
             b.iter(|| compress::<f32, i16>(a, &settings).unwrap());

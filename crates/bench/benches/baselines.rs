@@ -49,5 +49,9 @@ fn bench_decompress_comparison(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compress_comparison, bench_decompress_comparison);
+criterion_group!(
+    benches,
+    bench_compress_comparison,
+    bench_decompress_comparison
+);
 criterion_main!(benches);

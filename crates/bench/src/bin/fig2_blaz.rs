@@ -35,8 +35,15 @@ fn main() {
     println!("Fig. 2 — blazr vs Blaz times (seconds, median of 3)");
     println!(
         "{:>6} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12}",
-        "size", "bz.comp", "bz.decomp", "bz.add", "bz.mul", "blaz.comp", "blaz.decomp",
-        "blaz.add", "blaz.mul"
+        "size",
+        "bz.comp",
+        "bz.decomp",
+        "bz.add",
+        "bz.mul",
+        "blaz.comp",
+        "blaz.decomp",
+        "blaz.add",
+        "blaz.mul"
     );
 
     let settings = Settings::new(vec![8, 8]).unwrap();

@@ -15,7 +15,13 @@ use blazr_util::csv::{CsvField, CsvWriter};
 
 fn main() {
     let mut csv = CsvWriter::with_header(&[
-        "dims", "size", "codec", "setting", "ratio", "compress_s", "decompress_s",
+        "dims",
+        "size",
+        "codec",
+        "setting",
+        "ratio",
+        "compress_s",
+        "decompress_s",
     ]);
     println!("Fig. 3 — blazr vs zfpoid (seconds, median of 3)");
 

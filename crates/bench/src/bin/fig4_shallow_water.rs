@@ -22,7 +22,11 @@ fn main() {
     let quick = blazr_bench::quick_mode();
     // Paper: domain 200×400 with 100 grid cells in the first dimension;
     // we use 100×200 cells (the stated cell count) and fewer for --quick.
-    let (nx, ny, steps) = if quick { (48, 96, 400) } else { (100, 200, 3000) };
+    let (nx, ny, steps) = if quick {
+        (48, 96, 400)
+    } else {
+        (100, 200, 3000)
+    };
     let cfg = SwConfig {
         nx,
         ny,
@@ -68,8 +72,7 @@ fn main() {
     };
     let (ur, uc) = argmax(&diff_unc);
     let (cr, cc) = argmax(&diff_comp);
-    let hotspot_dist =
-        ((ur as f64 - cr as f64).powi(2) + (uc as f64 - cc as f64).powi(2)).sqrt();
+    let hotspot_dist = ((ur as f64 - cr as f64).powi(2) + (uc as f64 - cc as f64).powi(2)).sqrt();
 
     println!("FP16 vs FP32 divergence: L∞ {linf_unc:.3e}, L2 {l2_unc:.3e}");
     println!("compressed-space diff:   L∞ {linf_comp:.3e}, L2 {l2_comp:.3e}");
@@ -82,9 +85,7 @@ fn main() {
     write_pgm(&dir.join("fig4_diff_uncompressed.pgm"), &diff_unc).unwrap();
     write_pgm(&dir.join("fig4_diff_compressed.pgm"), &diff_comp).unwrap();
 
-    let mut csv = CsvWriter::with_header(&[
-        "metric", "uncompressed", "compressed_space",
-    ]);
+    let mut csv = CsvWriter::with_header(&["metric", "uncompressed", "compressed_space"]);
     csv.push_row(&[
         CsvField::Str("linf_diff"),
         CsvField::Float(linf_unc),

@@ -103,9 +103,11 @@ fn main() {
                         match got {
                             Some(g) if g.is_finite() => {
                                 entry.1.push((g - reference).abs());
-                                entry
-                                    .2
-                                    .push(blazr_util::stats::relative_error(g, reference, flair_mean * 1e-3));
+                                entry.2.push(blazr_util::stats::relative_error(
+                                    g,
+                                    reference,
+                                    flair_mean * 1e-3,
+                                ));
                             }
                             _ => entry.3 += 1,
                         }
@@ -118,10 +120,7 @@ fn main() {
                 for w in 0..volumes.len().saturating_sub(1) {
                     let d = volumes[w].shape()[0].min(volumes[w + 1].shape()[0]);
                     let crop = |v: &NdArray<f64>| {
-                        NdArray::from_fn(
-                            vec![d, v.shape()[1], v.shape()[2]],
-                            |idx| v.get(idx),
-                        )
+                        NdArray::from_fn(vec![d, v.shape()[1], v.shape()[2]], |idx| v.get(idx))
                     };
                     let va = crop(&volumes[w]);
                     let vb = crop(&volumes[w + 1]);
@@ -145,8 +144,16 @@ fn main() {
                     .collect::<Vec<_>>()
                     .join("x");
                 for (name, abs, rel, nans) in &stats {
-                    let mae = if abs.count() == 0 { f64::NAN } else { abs.mean() };
-                    let mre = if rel.count() == 0 { f64::NAN } else { rel.mean() };
+                    let mae = if abs.count() == 0 {
+                        f64::NAN
+                    } else {
+                        abs.mean()
+                    };
+                    let mre = if rel.count() == 0 {
+                        f64::NAN
+                    } else {
+                        rel.mean()
+                    };
                     println!(
                         "{:<9} {:<6} {:<9} {:<9}: MAE {:>11.4e} MRE {:>11.4e} NaNs {:>2} ratio {:>6.2}",
                         ft.name(),

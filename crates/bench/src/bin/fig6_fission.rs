@@ -19,7 +19,10 @@ use blazr_util::csv::{CsvField, CsvWriter};
 
 fn main() {
     let cfg = FissionConfig::default();
-    println!("generating fission series ({} steps)…", blazr_datasets::fission::TIME_STEPS.len());
+    println!(
+        "generating fission series ({} steps)…",
+        blazr_datasets::fission::TIME_STEPS.len()
+    );
     let data = series(&cfg);
     let settings = Settings::new(vec![16, 16, 16]).unwrap();
     let compressed: Vec<CompressedArray<f32, i16>> = data
@@ -48,10 +51,7 @@ fn main() {
         let (t2, ref b) = data[w + 1];
         let unc = reduce::norm_l2(&a.sub(b));
         let dec = reduce::norm_l2(&decompressed[w].sub(&decompressed[w + 1]));
-        let comp = compressed[w]
-            .sub(&compressed[w + 1])
-            .unwrap()
-            .l2_norm() as f64;
+        let comp = compressed[w].sub(&compressed[w + 1]).unwrap().l2_norm() as f64;
         println!("{t1:>5} {t2:>5} {unc:>14.4} {dec:>14.4} {comp:>14.4}");
         csv_a.push_row(&[
             CsvField::Int(t1 as i64),

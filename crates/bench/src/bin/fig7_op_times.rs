@@ -45,13 +45,8 @@ fn main() {
     let index_types = [IndexType::I8, IndexType::I16, IndexType::I32];
     let settings = Settings::new(vec![4, 4, 4]).unwrap();
 
-    let mut csv = CsvWriter::with_header(&[
-        "float_type",
-        "index_type",
-        "size",
-        "operation",
-        "seconds",
-    ]);
+    let mut csv =
+        CsvWriter::with_header(&["float_type", "index_type", "size", "operation", "seconds"]);
     println!("Fig. 7 — compressed-space operation times, 3-D arrays, block 4³");
 
     for &n in &sizes {

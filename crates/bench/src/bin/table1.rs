@@ -29,10 +29,8 @@ fn main() {
     let rel = |x: f64, r: f64| (x - r).abs() / r.abs().max(1e-12);
 
     // Negation: compare decompress(neg(c)) vs −decompress(c).
-    let neg_err = blazr_util::stats::max_abs_diff(
-        ca.negate().decompress().as_slice(),
-        da.neg().as_slice(),
-    );
+    let neg_err =
+        blazr_util::stats::max_abs_diff(ca.negate().decompress().as_slice(), da.neg().as_slice());
     rows.push(("negation", "array", "none", neg_err));
 
     // Element-wise addition: error beyond compression = vs da + db.

@@ -60,7 +60,11 @@ pub fn write_pgm(
 ) -> std::io::Result<()> {
     assert_eq!(field.ndim(), 2, "PGM needs a 2-D field");
     let (h, w) = (field.shape()[0], field.shape()[1]);
-    let lo = field.as_slice().iter().cloned().fold(f64::INFINITY, f64::min);
+    let lo = field
+        .as_slice()
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
     let hi = field
         .as_slice()
         .iter()

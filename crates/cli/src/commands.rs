@@ -56,8 +56,7 @@ fn build_settings(args: &Args, ndim: usize) -> Result<Settings, String> {
     }
     if let Some(k) = args.option("keep") {
         let kept: usize = k.parse().map_err(|e| format!("bad --keep: {e}"))?;
-        let mask =
-            PruningMask::keep_lowest_frequencies(&block, kept).map_err(|e| e.to_string())?;
+        let mask = PruningMask::keep_lowest_frequencies(&block, kept).map_err(|e| e.to_string())?;
         settings = settings.with_mask(mask).map_err(|e| e.to_string())?;
     }
     Ok(settings)
@@ -137,7 +136,10 @@ fn info_cmd(argv: &[String]) -> Result<(), String> {
 
 fn stats_cmd(argv: &[String]) -> Result<(), String> {
     let args = Args::parse(argv, &[])?;
-    let input = args.positionals.first().ok_or("stats needs an input file")?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("stats needs an input file")?;
     let c = load_compressed(input)?;
     println!("mean      : {}", fmt_res(c.mean()));
     println!("variance  : {}", fmt_res(c.variance()));
@@ -162,10 +164,7 @@ fn diff_cmd(argv: &[String]) -> Result<(), String> {
     let b = load_compressed(b_path)?;
     let diff = a.sub(&b).map_err(|e| e.to_string())?;
     println!("l2 distance        : {:.9e}", diff.l2_norm());
-    println!(
-        "cosine similarity  : {}",
-        fmt_res(a.cosine_similarity(&b))
-    );
+    println!("cosine similarity  : {}", fmt_res(a.cosine_similarity(&b)));
     println!(
         "ssim               : {}",
         fmt_res(a.ssim(&b, &SsimParams::default()))
@@ -174,10 +173,7 @@ fn diff_cmd(argv: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|e| format!("bad --wasserstein-p: {e}"))?,
         None => 2.0,
     };
-    println!(
-        "wasserstein (p={p}) : {}",
-        fmt_res(a.wasserstein(&b, p))
-    );
+    println!("wasserstein (p={p}) : {}", fmt_res(a.wasserstein(&b, p)));
     println!(
         "approx Linf distance: {}",
         fmt_res(a.approx_linf_distance(&b))
@@ -231,7 +227,9 @@ mod tests {
         let raw = tmp("a.f64");
         let blz = tmp("a.blz");
         let back = tmp("a_back.f64");
-        let a = NdArray::from_fn(vec![24, 24], |i| (i[0] as f64 / 5.0).sin() + i[1] as f64 * 0.01);
+        let a = NdArray::from_fn(vec![24, 24], |i| {
+            (i[0] as f64 / 5.0).sin() + i[1] as f64 * 0.01
+        });
         write_f64(&raw, &a).unwrap();
 
         run(&sv(&[
@@ -258,12 +256,7 @@ mod tests {
         let err = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
         assert!(err < 1e-3, "roundtrip err {err}");
 
-        run(&sv(&[
-            "diff",
-            blz.to_str().unwrap(),
-            blz.to_str().unwrap(),
-        ]))
-        .unwrap();
+        run(&sv(&["diff", blz.to_str().unwrap(), blz.to_str().unwrap()])).unwrap();
     }
 
     #[test]

@@ -56,8 +56,7 @@ fn compress_impl<P: Real, I: BinIndex>(
 ) -> Result<(CompressedArray<P, I>, Option<CompressionReport>), BlazError> {
     // Step (a): data type conversion to the working precision.
     let converted: NdArray<P> = input.convert();
-    let (compressed, blocked) =
-        compress_converted(&converted, input.shape().to_vec(), settings)?;
+    let (compressed, blocked) = compress_converted(&converted, input.shape().to_vec(), settings)?;
     let report = if want_report {
         Some(build_report(input, &converted, &blocked, &compressed))
     } else {

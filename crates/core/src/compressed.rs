@@ -136,7 +136,6 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
             Err(BlazError::DcUnavailable)
         }
     }
-
 }
 
 impl<P: blazr_precision::StorableReal, I: BinIndex> CompressedArray<P, I> {

@@ -20,7 +20,12 @@ pub enum IndexType {
 
 impl IndexType {
     /// All variants in serialization-tag order.
-    pub const ALL: [IndexType; 4] = [IndexType::I8, IndexType::I16, IndexType::I32, IndexType::I64];
+    pub const ALL: [IndexType; 4] = [
+        IndexType::I8,
+        IndexType::I16,
+        IndexType::I32,
+        IndexType::I64,
+    ];
 
     /// Width in bits (the `i` of §IV-C's accounting).
     pub fn bits(self) -> u32 {

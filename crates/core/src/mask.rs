@@ -102,10 +102,7 @@ impl PruningMask {
 
     /// Keeps the `count` positions with the lowest total frequency (sum of
     /// coordinates, ties broken row-major) — a sequency-style mask.
-    pub fn keep_lowest_frequencies(
-        block_shape: &[usize],
-        count: usize,
-    ) -> Result<Self, BlazError> {
+    pub fn keep_lowest_frequencies(block_shape: &[usize], count: usize) -> Result<Self, BlazError> {
         let n = num_elements(block_shape);
         let count = count.min(n);
         let mut order: Vec<usize> = (0..n).collect();

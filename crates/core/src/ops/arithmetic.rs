@@ -62,7 +62,11 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
                     }
                     *n_out = n;
                     for (&c, i_out) in coeffs.iter().zip(idx_out.iter_mut()) {
-                        let q = if n == P::zero() { 0.0 } else { (c / n).to_f64() };
+                        let q = if n == P::zero() {
+                            0.0
+                        } else {
+                            (c / n).to_f64()
+                        };
                         *i_out = I::bin(q);
                     }
                 },
@@ -112,7 +116,11 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
                     }
                     *n_out = n;
                     for (&c, i_out) in coeffs.iter().zip(idx_out.iter_mut()) {
-                        let q = if n == P::zero() { 0.0 } else { (c / n).to_f64() };
+                        let q = if n == P::zero() {
+                            0.0
+                        } else {
+                            (c / n).to_f64()
+                        };
                         *i_out = I::bin(q);
                     }
                 },

@@ -89,11 +89,7 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
 
     /// Block-wise standard deviations.
     pub fn block_std_devs(&self) -> Result<Vec<f64>, BlazError> {
-        Ok(self
-            .block_variances()?
-            .into_iter()
-            .map(f64::sqrt)
-            .collect())
+        Ok(self.block_variances()?.into_iter().map(f64::sqrt).collect())
     }
 
     /// Block-wise covariances (§IV-A-7: "Block-wise covariance is also

@@ -208,7 +208,10 @@ mod tests {
         let c = compress::<f64, i16>(&a, &settings()).unwrap();
         let got = c.l2_norm();
         let expect = reduce::norm_l2(&a);
-        assert!((got - expect).abs() / expect < 1e-3, "got {got} expect {expect}");
+        assert!(
+            (got - expect).abs() / expect < 1e-3,
+            "got {got} expect {expect}"
+        );
     }
 
     #[test]

@@ -29,18 +29,16 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
 
         // Weighted product. The paper's experiments use unit weights; we
         // honor arbitrary weights through f64 powf, rounding back into P.
-        let result = if p.luminance_weight == 1.0
-            && p.contrast_weight == 1.0
-            && p.structure_weight == 1.0
-        {
-            l * c * s
-        } else {
-            P::from_f64(
-                l.to_f64().powf(p.luminance_weight)
-                    * c.to_f64().powf(p.contrast_weight)
-                    * s.to_f64().powf(p.structure_weight),
-            )
-        };
+        let result =
+            if p.luminance_weight == 1.0 && p.contrast_weight == 1.0 && p.structure_weight == 1.0 {
+                l * c * s
+            } else {
+                P::from_f64(
+                    l.to_f64().powf(p.luminance_weight)
+                        * c.to_f64().powf(p.contrast_weight)
+                        * s.to_f64().powf(p.structure_weight),
+                )
+            };
         Ok(result)
     }
 }
@@ -104,8 +102,10 @@ mod tests {
         let b = random_unit_array(vec![16, 16], 7);
         let ca = compress::<f64, i16>(&a, &settings()).unwrap();
         let cb = compress::<f64, i16>(&b, &settings()).unwrap();
-        let mut p = SsimParams::default();
-        p.structure_weight = 2.0;
+        let p = SsimParams {
+            structure_weight: 2.0,
+            ..SsimParams::default()
+        };
         let got = ca.ssim(&cb, &p).unwrap();
         let unit = ca.ssim(&cb, &SsimParams::default()).unwrap();
         assert_ne!(got, unit);

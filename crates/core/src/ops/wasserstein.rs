@@ -186,8 +186,8 @@ mod tests {
         let cb = compress::<f64, i32>(&base, &s).unwrap();
         let cn = compress::<f64, i32>(&noisy, &s).unwrap();
         let cl = compress::<f64, i32>(&localized, &s).unwrap();
-        let sep_l1 = cl.approx_lp_distance(&cb, 1.0).unwrap()
-            / cn.approx_lp_distance(&cb, 1.0).unwrap();
+        let sep_l1 =
+            cl.approx_lp_distance(&cb, 1.0).unwrap() / cn.approx_lp_distance(&cb, 1.0).unwrap();
         let sep_linf =
             cl.approx_linf_distance(&cb).unwrap() / cn.approx_linf_distance(&cb).unwrap();
         assert!(

@@ -88,7 +88,9 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
                 I::TYPE
             )));
         }
-        let ttag = r.read_bits(4).ok_or_else(|| bad("truncated transform tag"))? as u8;
+        let ttag = r
+            .read_bits(4)
+            .ok_or_else(|| bad("truncated transform tag"))? as u8;
         let transform =
             TransformKind::from_tag(ttag).ok_or_else(|| bad("unknown transform tag"))?;
 
@@ -158,7 +160,9 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         let kept = settings.mask.kept_count();
         let mut indices = Vec::with_capacity(n_blocks * kept);
         for _ in 0..n_blocks * kept {
-            let raw = r.read_bits(I::BITS).ok_or_else(|| bad("truncated indices"))?;
+            let raw = r
+                .read_bits(I::BITS)
+                .ok_or_else(|| bad("truncated indices"))?;
             // Sign-extend from I::BITS.
             let shifted = (raw as i64) << (64 - I::BITS);
             indices.push(I::from_i64(shifted >> (64 - I::BITS)));

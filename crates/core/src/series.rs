@@ -103,11 +103,7 @@ impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
     /// First label at which this series deviates from `other` by more
     /// than `threshold` in relative L2 (`‖A−B‖/‖A‖`) — the §I "two
     /// movies" divergence query. Series must share labels and settings.
-    pub fn first_divergence(
-        &self,
-        other: &Self,
-        threshold: f64,
-    ) -> Result<Option<u64>, BlazError> {
+    pub fn first_divergence(&self, other: &Self, threshold: f64) -> Result<Option<u64>, BlazError> {
         if self.labels != other.labels {
             return Err(BlazError::SettingsMismatch);
         }
@@ -125,7 +121,10 @@ impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
 impl<P: StorableReal, I: BinIndex> CompressedSeries<P, I> {
     /// Total compressed payload across all snapshots, in bytes.
     pub fn payload_bytes(&self) -> u64 {
-        self.frames.iter().map(|f| f.payload_bits().div_ceil(8)).sum()
+        self.frames
+            .iter()
+            .map(|f| f.payload_bits().div_ceil(8))
+            .sum()
     }
 }
 

@@ -240,7 +240,10 @@ mod tests {
             for &frac in &opts.keep_fractions {
                 let kept = ((block_len as f64 * frac).round() as usize).clamp(1, block_len);
                 let mask = PruningMask::keep_lowest_frequencies(&block, kept).unwrap();
-                let s = Settings::new(block.clone()).unwrap().with_mask(mask).unwrap();
+                let s = Settings::new(block.clone())
+                    .unwrap()
+                    .with_mask(mask)
+                    .unwrap();
                 for &ft in &opts.float_types {
                     for &it in &opts.index_types {
                         let ratio = crate::ratio::exact_ratio(
@@ -256,10 +259,7 @@ mod tests {
                         }
                         let c = compress_dyn(&a, &s, ft, it).unwrap();
                         let dec = c.decompress();
-                        let linf = blazr_util::stats::max_abs_diff(
-                            a.as_slice(),
-                            dec.as_slice(),
-                        );
+                        let linf = blazr_util::stats::max_abs_diff(a.as_slice(), dec.as_slice());
                         assert!(
                             linf > target,
                             "candidate {ft}/{it}/{block:?}/kept{kept} has ratio {ratio} > {} yet meets the bound ({linf})",

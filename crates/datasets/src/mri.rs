@@ -142,8 +142,8 @@ impl MriDataset {
             }
             let mut bias = 1.0;
             for &(fx, fy, fz, ph) in &waves {
-                bias += 0.04
-                    * (std::f64::consts::TAU * (fx * p[0] + fy * p[1] + fz * p[2]) + ph).cos();
+                bias +=
+                    0.04 * (std::f64::consts::TAU * (fx * p[0] + fy * p[1] + fz * p[2]) + ph).cos();
             }
             (val * bias * envelope).max(0.0)
         });

@@ -232,13 +232,8 @@ impl<P: Real> ShallowWater<P> {
     pub fn energy(&self) -> f64 {
         let mut e = 0.0;
         for k in 0..self.h.len() {
-            let (h, u, v) = (
-                self.h[k].to_f64(),
-                self.u[k].to_f64(),
-                self.v[k].to_f64(),
-            );
-            e += 0.5 * self.cfg.gravity * h * h
-                + 0.5 * self.cfg.depth * (u * u + v * v);
+            let (h, u, v) = (self.h[k].to_f64(), self.u[k].to_f64(), self.v[k].to_f64());
+            e += 0.5 * self.cfg.gravity * h * h + 0.5 * self.cfg.depth * (u * u + v * v);
         }
         e / self.h.len() as f64
     }

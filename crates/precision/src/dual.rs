@@ -130,7 +130,11 @@ impl Real for Dual {
         let s = self.value.sqrt();
         Dual {
             value: s,
-            deriv: if s == 0.0 { 0.0 } else { self.deriv / (2.0 * s) },
+            deriv: if s == 0.0 {
+                0.0
+            } else {
+                self.deriv / (2.0 * s)
+            },
         }
     }
     fn is_nan(self) -> bool {

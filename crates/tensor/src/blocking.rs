@@ -83,7 +83,14 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
         let mut out = NdArray::full(orig_shape.to_vec(), T::default());
         let dst = out.as_mut_slice();
         for (kb, block) in self.data.chunks(self.block_len).enumerate() {
-            scatter_block(dst, orig_shape, &self.num_blocks, &self.block_shape, kb, block);
+            scatter_block(
+                dst,
+                orig_shape,
+                &self.num_blocks,
+                &self.block_shape,
+                kb,
+                block,
+            );
         }
         out
     }
@@ -105,11 +112,7 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
 
     /// Total number of blocks (`Πb`).
     pub fn block_count(&self) -> usize {
-        if self.block_len == 0 {
-            0
-        } else {
-            self.data.len() / self.block_len
-        }
+        self.data.len().checked_div(self.block_len).unwrap_or(0)
     }
 
     /// Borrow of block `kb` (flat block index, row-major over `b`).

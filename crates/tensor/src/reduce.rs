@@ -108,8 +108,7 @@ pub fn ssim(a: &NdArray<f64>, b: &NdArray<f64>, p: &SsimParams) -> f64 {
     let cov = covariance(a, b);
     let l = (2.0 * mu_a * mu_b + p.luminance_stabilizer)
         / (mu_a * mu_a + mu_b * mu_b + p.luminance_stabilizer);
-    let c = (2.0 * sd_a * sd_b + p.contrast_stabilizer)
-        / (var_a + var_b + p.contrast_stabilizer);
+    let c = (2.0 * sd_a * sd_b + p.contrast_stabilizer) / (var_a + var_b + p.contrast_stabilizer);
     let s = (cov + p.contrast_stabilizer / 2.0) / (sd_a * sd_b + p.contrast_stabilizer / 2.0);
     l.powf(p.luminance_weight) * c.powf(p.contrast_weight) * s.powf(p.structure_weight)
 }

@@ -12,9 +12,7 @@ pub fn num_elements(shape: &[usize]) -> usize {
 /// Overflow-checked element count, for validating untrusted shapes (e.g.
 /// deserializers reading attacker-controlled extents).
 pub fn checked_num_elements(shape: &[usize]) -> Option<usize> {
-    shape
-        .iter()
-        .try_fold(1usize, |acc, &s| acc.checked_mul(s))
+    shape.iter().try_fold(1usize, |acc, &s| acc.checked_mul(s))
 }
 
 /// Row-major strides for `shape` (innermost dimension has stride 1).

@@ -145,7 +145,13 @@ mod tests {
 
     #[test]
     fn forward_inverse_identity_dct() {
-        for shape in [vec![4], vec![4, 8], vec![4, 4, 4], vec![2, 4, 8], vec![16, 16]] {
+        for shape in [
+            vec![4],
+            vec![4, 8],
+            vec![4, 4, 4],
+            vec![2, 4, 8],
+            vec![16, 16],
+        ] {
             let e = roundtrip_error(TransformKind::Dct, &shape, 1);
             assert!(e < 1e-12, "shape {shape:?} err {e}");
         }

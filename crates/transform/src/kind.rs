@@ -143,7 +143,10 @@ fn haar_matrix(n: usize) -> Vec<f64> {
     }
     // Normalize each column to unit length.
     for c in 0..n {
-        let norm: f64 = (0..n).map(|r| h[r * n + c] * h[r * n + c]).sum::<f64>().sqrt();
+        let norm: f64 = (0..n)
+            .map(|r| h[r * n + c] * h[r * n + c])
+            .sum::<f64>()
+            .sqrt();
         for r in 0..n {
             h[r * n + c] /= norm;
         }
@@ -163,7 +166,11 @@ fn hadamard_matrix(n: usize) -> Vec<f64> {
     let mut m = vec![0.0; n * n];
     for r in 0..n {
         for c in 0..n {
-            let sign = if (r & c).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+            let sign = if (r & c).count_ones() % 2 == 0 {
+                1.0
+            } else {
+                -1.0
+            };
             m[r * n + c] = sign * scale;
         }
     }
@@ -186,8 +193,7 @@ mod tests {
                     (2.0 / n as f64).sqrt()
                 };
                 let v = scale
-                    * (std::f64::consts::PI * (2 * row + 1) as f64 * col as f64
-                        / (2.0 * n as f64))
+                    * (std::f64::consts::PI * (2 * row + 1) as f64 * col as f64 / (2.0 * n as f64))
                         .cos();
                 assert!((m[row * n + col] - v).abs() < 1e-15);
             }

@@ -29,7 +29,10 @@ fn main() {
     // Optimize t so that mean(compress(base + t)) == target.
     let mut t = 0.0f64;
     println!("optimizing shift t so the *compressed* mean hits {target_mean}");
-    println!("{:>4} {:>12} {:>12} {:>12}", "iter", "t", "mean", "d(loss)/dt");
+    println!(
+        "{:>4} {:>12} {:>12} {:>12}",
+        "iter", "t", "mean", "d(loss)/dt"
+    );
     for iter in 0..12 {
         // Seed d/dt: every element is base + t, so ∂element/∂t = 1.
         let dual_input = base.map(|x| Dual::with_deriv(x + t, 1.0));
@@ -37,10 +40,7 @@ fn main() {
         let mean = c.mean().unwrap();
         let loss = (mean.value - target_mean) * (mean.value - target_mean);
         let dloss_dt = 2.0 * (mean.value - target_mean) * mean.deriv;
-        println!(
-            "{iter:>4} {t:>12.6} {:>12.6} {dloss_dt:>12.3e}",
-            mean.value
-        );
+        println!("{iter:>4} {t:>12.6} {:>12.6} {dloss_dt:>12.3e}", mean.value);
         if loss < 1e-14 {
             break;
         }

@@ -13,10 +13,7 @@ fn main() {
     let a = NdArray::from_fn(vec![64, 64], |_| rng.uniform_in(-1.0, 1.0));
 
     for (label, settings) in [
-        (
-            "int8, no pruning",
-            Settings::new(vec![8, 8]).unwrap(),
-        ),
+        ("int8, no pruning", Settings::new(vec![8, 8]).unwrap()),
         (
             "int8, keep 4×4 low-frequency box",
             Settings::new(vec![8, 8])

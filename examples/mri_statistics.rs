@@ -12,7 +12,10 @@ use blazr_tensor::{reduce, NdArray};
 
 fn main() {
     let ds = MriDataset::small(11, 4, 64);
-    println!("generating {} FLAIR-like volumes (64×64 slices)…", ds.volumes);
+    println!(
+        "generating {} FLAIR-like volumes (64×64 slices)…",
+        ds.volumes
+    );
     let volumes: Vec<NdArray<f64>> = (0..ds.volumes).map(|i| ds.volume(i)).collect();
     for (i, v) in volumes.iter().enumerate() {
         println!(

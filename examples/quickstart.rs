@@ -74,7 +74,10 @@ fn main() {
     let d = c2.decompress();
     let actual_linf = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
     println!("\nerror report:");
-    println!("  L∞ bound {:.3e}, actual L∞ {actual_linf:.3e}", report.linf_bound());
+    println!(
+        "  L∞ bound {:.3e}, actual L∞ {actual_linf:.3e}",
+        report.linf_bound()
+    );
     println!(
         "  L2 (coefficient-space) {:.3e}, actual L2 {:.3e}",
         report.total_coeff_l2,

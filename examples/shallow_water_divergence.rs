@@ -11,6 +11,9 @@ use blazr::{compress, CompressedArray, Settings};
 use blazr_datasets::shallow_water::{ShallowWater, SwConfig};
 use blazr_precision::F16;
 
+/// One archived step: (simulation step, FP16 movie frame, FP32 movie frame).
+type Snapshot = (usize, CompressedArray<f32, i16>, CompressedArray<f32, i16>);
+
 fn main() {
     let cfg = SwConfig {
         nx: 48,
@@ -27,8 +30,7 @@ fn main() {
     // The archive holds only compressed arrays — this is the workflow the
     // paper motivates: time series stay compressed, analysis happens in
     // compressed space.
-    let mut archive: Vec<(usize, CompressedArray<f32, i16>, CompressedArray<f32, i16>)> =
-        Vec::new();
+    let mut archive: Vec<Snapshot> = Vec::new();
     for s in 1..=snapshots {
         lo.run(snapshot_every);
         hi.run(snapshot_every);
@@ -50,7 +52,10 @@ fn main() {
         raw as f64 / stored as f64
     );
 
-    println!("\n{:>6} {:>14} {:>16}", "step", "L2 distance", "Wasserstein p=2");
+    println!(
+        "\n{:>6} {:>14} {:>16}",
+        "step", "L2 distance", "Wasserstein p=2"
+    );
     let mut divergence_step = None;
     // Threshold: relative to the field magnitude at each step.
     for (step, c16, c32) in &archive {

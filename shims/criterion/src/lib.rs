@@ -1,0 +1,357 @@
+//! Offline stand-in for the subset of the [criterion] benchmarking API the
+//! blazr workspace uses.
+//!
+//! The build environment has no crates.io access, so this shim implements a
+//! small but honest measurement harness behind criterion's names:
+//! per-benchmark warmup, a configurable number of timed samples, and a
+//! median-of-samples report printed as
+//! `bench: <group>/<id> ... median <t> (<n> samples)`. Swapping in real
+//! criterion is a one-line workspace-manifest change; call sites compile
+//! against this exact surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `black_box`).
+//!
+//! Supported CLI flags (others are ignored so `cargo bench` passthrough
+//! args never break): `--quick` (fewer samples, shorter warmup) and a
+//! positional substring filter.
+//!
+//! [criterion]: https://docs.rs/criterion
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; re-exported name matches criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier: an optional function name plus a parameter label.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// `<name>/<parameter>` identifier.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            name: Some(name.into()),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier that is just a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            name: None,
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.name {
+            Some(n) => write!(f, "{n}/{}", self.parameter),
+            None => f.write_str(&self.parameter),
+        }
+    }
+}
+
+/// Throughput annotation; recorded and echoed in the report line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Decoded bytes per iteration.
+    BytesDecimal(u64),
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: usize,
+    warmup: Duration,
+    result: &'a mut Option<Sample>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    median: Duration,
+    samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `f`: warm up for the configured duration (at least one call),
+    /// then record `samples` timed calls and keep the median.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warmup_start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            if warmup_start.elapsed() >= self.warmup {
+                break;
+            }
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(f());
+            times.push(t0.elapsed());
+        }
+        times.sort();
+        *self.result = Some(Sample {
+            median: times[times.len() / 2],
+            samples: times.len(),
+        });
+    }
+
+    /// `iter_with_large_drop` has the same shape sequentially.
+    pub fn iter_with_large_drop<O, F: FnMut() -> O>(&mut self, f: F) {
+        self.iter(f);
+    }
+}
+
+/// Top-level benchmark driver (shim: prints a report per benchmark).
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    default_samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            quick: false,
+            filter: None,
+            default_samples: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`--quick`, positional filter); unknown flags
+    /// — including the `--bench` cargo passes through — are ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => self.quick = true,
+                // Value-less flags cargo/criterion pass through.
+                "--bench" | "--test" => {}
+                // Flags that take a value: consume it so it is not
+                // mistaken for a positional benchmark filter.
+                "--profile-time" | "--save-baseline" | "--baseline" | "--load-baseline"
+                | "--measurement-time" | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let samples = self.default_samples;
+        self.run_one(&id.to_string(), samples, None, f);
+    }
+
+    fn run_one<F>(&mut self, full_id: &str, sample_size: usize, tp: Option<Throughput>, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        if let Some(filter) = &self.filter {
+            if !full_id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.quick {
+            sample_size.clamp(1, 3)
+        } else {
+            sample_size.max(1)
+        };
+        let warmup = if self.quick {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(300)
+        };
+        let mut result = None;
+        let mut bencher = Bencher {
+            samples,
+            warmup,
+            result: &mut result,
+        };
+        f(&mut bencher);
+        match result {
+            Some(s) => {
+                let per_iter = s.median.as_secs_f64();
+                let rate = match tp {
+                    Some(Throughput::Elements(n)) => {
+                        format!("  thrpt: {:.3} Melem/s", n as f64 / per_iter / 1e6)
+                    }
+                    Some(Throughput::Bytes(n)) | Some(Throughput::BytesDecimal(n)) => {
+                        format!(
+                            "  thrpt: {:.3} MiB/s",
+                            n as f64 / per_iter / (1024.0 * 1024.0)
+                        )
+                    }
+                    None => String::new(),
+                };
+                println!(
+                    "bench: {full_id:<48} median {}{}  ({} samples)",
+                    format_duration(s.median),
+                    rate,
+                    s.samples
+                );
+            }
+            None => println!("bench: {full_id:<48} (no measurement recorded)"),
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Measurement-time hint; accepted and ignored by the shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<id>`.
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.default_samples);
+        let tp = self.throughput;
+        self.criterion.run_one(&full, samples, tp, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `<group>/<id>`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (a no-op beyond symmetry with criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as in criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_median() {
+        let mut c = Criterion {
+            quick: true,
+            filter: None,
+            default_samples: 3,
+        };
+        c.bench_function("self-test", |b| b.iter(|| black_box(2u64 + 2)));
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            quick: true,
+            filter: Some("nomatch".into()),
+            default_samples: 3,
+        };
+        let mut ran = false;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("skipped", |_b| ran = true);
+        g.finish();
+        assert!(!ran);
+    }
+
+    #[test]
+    fn ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,236 @@
+//! Sequential, dependency-free stand-in for the subset of the [rayon]
+//! API the blazr workspace uses.
+//!
+//! The build environment has no network access to crates.io, so this shim
+//! provides the same *names and signatures* the real crate would, backed
+//! by plain sequential `std` iterators. Swapping in the real rayon is a
+//! one-line change in the workspace manifest (point the `rayon` workspace
+//! dependency at the registry instead of `shims/rayon`); no source file
+//! needs to change because every call site compiles against this exact
+//! surface:
+//!
+//! * `par_iter` / `par_iter_mut` / `par_chunks` / `par_chunks_mut` on
+//!   slices (returning the corresponding `std::slice` iterators),
+//! * `into_par_iter` on ranges and vectors,
+//! * the `for_each_init` consumer from rayon's `ParallelIterator`,
+//! * `ThreadPoolBuilder` / `ThreadPool::install`.
+//!
+//! [rayon]: https://docs.rs/rayon
+#![forbid(unsafe_code)]
+
+/// Iterator adaptors and the `for_each_init` consumer.
+pub mod iter {
+    /// Sequential stand-in for rayon's `ParallelIterator` extension
+    /// methods that have no `std::iter::Iterator` equivalent.
+    ///
+    /// Blanket-implemented for every iterator, so chains like
+    /// `slice.par_iter_mut().zip(..).enumerate().for_each_init(..)`
+    /// resolve exactly as they would with the real crate.
+    pub trait ParallelIterator: Iterator + Sized {
+        /// Runs `op` on every item with a per-"thread" scratch value
+        /// created by `init` (one scratch total in this sequential shim).
+        fn for_each_init<T, INIT, OP>(self, init: INIT, mut op: OP)
+        where
+            INIT: FnMut() -> T,
+            OP: FnMut(&mut T, Self::Item),
+        {
+            let mut init = init;
+            let mut scratch = init();
+            for item in self {
+                op(&mut scratch, item);
+            }
+        }
+
+        /// Length hint; a no-op sequentially.
+        fn with_min_len(self, _min: usize) -> Self {
+            self
+        }
+
+        /// Length hint; a no-op sequentially.
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+    }
+
+    impl<I: Iterator> ParallelIterator for I {}
+
+    /// `into_par_iter` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The iterator produced.
+        type Iter: Iterator<Item = Self::Item>;
+        /// Item type.
+        type Item;
+        /// Converts `self` into a (sequential) "parallel" iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Iter = std::ops::Range<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Slice-level parallel views (sequential here).
+pub mod slice {
+    /// Matches `rayon::slice::Chunks`; sequentially it *is* the std type.
+    pub type Chunks<'a, T> = std::slice::Chunks<'a, T>;
+    /// Matches `rayon::slice::ChunksMut`.
+    pub type ChunksMut<'a, T> = std::slice::ChunksMut<'a, T>;
+    /// Matches `rayon::slice::Iter`.
+    pub type Iter<'a, T> = std::slice::Iter<'a, T>;
+    /// Matches `rayon::slice::IterMut`.
+    pub type IterMut<'a, T> = std::slice::IterMut<'a, T>;
+
+    /// `par_iter`/`par_chunks` on shared slices.
+    pub trait ParallelSlice<T> {
+        /// Per-element iterator.
+        fn par_iter(&self) -> Iter<'_, T>;
+        /// Fixed-size chunk iterator.
+        fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_iter(&self) -> Iter<'_, T> {
+            self.iter()
+        }
+        fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
+            self.chunks(chunk_size)
+        }
+    }
+
+    /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
+    pub trait ParallelSliceMut<T> {
+        /// Per-element mutable iterator.
+        fn par_iter_mut(&mut self) -> IterMut<'_, T>;
+        /// Fixed-size mutable chunk iterator.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_iter_mut(&mut self) -> IterMut<'_, T> {
+            self.iter_mut()
+        }
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+/// Everything call sites import with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}
+
+/// Error from [`ThreadPoolBuilder::build`]; never produced by the shim.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error (unreachable in sequential shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder matching `rayon::ThreadPoolBuilder`; all settings are recorded
+/// but ignored, since work runs on the calling thread.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with default (ignored) settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a thread count; `0` means "all cores" in real rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the (degenerate, current-thread) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            _num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that executes closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    _num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` inside the pool — sequentially, right here.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3, 4];
+        let s: i32 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(s, 20);
+    }
+
+    #[test]
+    fn for_each_init_threads_scratch() {
+        let mut out = vec![0usize; 6];
+        out.par_chunks_mut(2).enumerate().for_each_init(
+            || 10usize,
+            |scratch, (i, chunk)| {
+                *scratch += 1;
+                for c in chunk {
+                    *c = *scratch * 100 + i;
+                }
+            },
+        );
+        assert_eq!(out, vec![1100, 1100, 1201, 1201, 1302, 1302]);
+    }
+
+    #[test]
+    fn pool_installs_on_calling_thread() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 21 * 2), 42);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_and_vec() {
+        let a: Vec<usize> = (0..5usize).into_par_iter().collect();
+        assert_eq!(a, vec![0, 1, 2, 3, 4]);
+        let b: usize = vec![1usize, 2, 3].into_par_iter().sum();
+        assert_eq!(b, 6);
+    }
+}

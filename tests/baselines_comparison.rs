@@ -59,8 +59,7 @@ fn szoid_enforces_bounds_where_blazr_does_not() {
     assert!(stats.ratio > 1.0);
 
     let c = compress::<f64, i8>(&a, &Settings::new(vec![8, 8]).unwrap()).unwrap();
-    let bl_linf =
-        blazr_util::stats::max_abs_diff(a.as_slice(), c.decompress().as_slice());
+    let bl_linf = blazr_util::stats::max_abs_diff(a.as_slice(), c.decompress().as_slice());
     // blazr's int8 error on noise is far above eps — but its ratio was
     // fixed in advance, which SZ's is not.
     assert!(bl_linf > eps);

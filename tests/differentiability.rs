@@ -58,7 +58,10 @@ fn mean_gradient_matches_finite_differences() {
     assert!((analytic - fd).abs() < TOL, "dual {analytic} vs fd {fd}");
     // The true derivative of the mean in direction `dir` is mean(dir).
     let exact = blazr_tensor::reduce::mean(&dir);
-    assert!((analytic - exact).abs() < TOL, "dual {analytic} vs exact {exact}");
+    assert!(
+        (analytic - exact).abs() < TOL,
+        "dual {analytic} vs exact {exact}"
+    );
 }
 
 #[test]
@@ -69,9 +72,11 @@ fn l2_norm_gradient_matches_finite_differences() {
     let analytic = cd.l2_norm().deriv;
     let fd = central_diff(&a, &dir, 1e-4, |c| c.l2_norm());
     // d‖A‖/dt = ⟨A, dir⟩ / ‖A‖.
-    let exact =
-        blazr_tensor::reduce::dot(&a, &dir) / blazr_tensor::reduce::norm_l2(&a);
-    assert!((analytic - fd).abs() < TOL * 10.0, "dual {analytic} vs fd {fd}");
+    let exact = blazr_tensor::reduce::dot(&a, &dir) / blazr_tensor::reduce::norm_l2(&a);
+    assert!(
+        (analytic - fd).abs() < TOL * 10.0,
+        "dual {analytic} vs fd {fd}"
+    );
     assert!(
         (analytic - exact).abs() < TOL * 10.0,
         "dual {analytic} vs exact {exact}"
@@ -100,11 +105,7 @@ fn dot_gradient_splits_between_operands() {
     let s = Settings::new(vec![4, 4]).unwrap();
     // Perturb only A.
     let ca = compress_values::<Dual, i16>(&dual_array(&a, &dir), &s).unwrap();
-    let cb = compress_values::<Dual, i16>(
-        &b.map(Dual::constant),
-        &s,
-    )
-    .unwrap();
+    let cb = compress_values::<Dual, i16>(&b.map(Dual::constant), &s).unwrap();
     let analytic = ca.dot(&cb).unwrap().deriv;
     // d⟨A,B⟩/dt = ⟨dir, B⟩. The compressed gradient is the
     // straight-through estimator: tangents flow only through the per-block

@@ -10,8 +10,14 @@ use blazr::{compress, CompressedArray, Settings};
 use blazr_tensor::{reduce, NdArray};
 use blazr_util::rng::Xoshiro256pp;
 
-fn setup(seed: u64) -> (NdArray<f64>, NdArray<f64>, CompressedArray<f64, i16>, CompressedArray<f64, i16>)
-{
+type Pair = (
+    NdArray<f64>,
+    NdArray<f64>,
+    CompressedArray<f64, i16>,
+    CompressedArray<f64, i16>,
+);
+
+fn setup(seed: u64) -> Pair {
     let mut rng = Xoshiro256pp::seed_from_u64(seed);
     let a = NdArray::from_fn(vec![40, 24], |_| rng.uniform());
     let b = NdArray::from_fn(vec![40, 24], |_| rng.uniform());
@@ -65,9 +71,7 @@ fn cosine_similarity_is_exact_wrt_compressed_data() {
     let (_, _, ca, cb) = setup(6);
     let da = ca.decompress();
     let db = cb.decompress();
-    assert!(
-        (ca.cosine_similarity(&cb).unwrap() - reduce::cosine_similarity(&da, &db)).abs() < FP
-    );
+    assert!((ca.cosine_similarity(&cb).unwrap() - reduce::cosine_similarity(&da, &db)).abs() < FP);
 }
 
 #[test]
@@ -100,16 +104,9 @@ fn addition_error_is_within_rebinning_budget() {
     // Rebinning error per coefficient ≤ new N/(2r); after the inverse
     // transform, per element ≤ Σ|Δc| ≤ kept · N/(2r). Use a conservative
     // multiple of the bin width times √(block_len).
-    let max_n = sum
-        .biggest()
-        .iter()
-        .map(|n| n.abs())
-        .fold(0.0f64, f64::max);
+    let max_n = sum.biggest().iter().map(|n| n.abs()).fold(0.0f64, f64::max);
     let budget = max_n / (2.0 * 32767.0) * 64.0;
-    let err = blazr_util::stats::max_abs_diff(
-        sum.decompress().as_slice(),
-        da.add(&db).as_slice(),
-    );
+    let err = blazr_util::stats::max_abs_diff(sum.decompress().as_slice(), da.add(&db).as_slice());
     assert!(err <= budget, "err {err} > budget {budget}");
 }
 
@@ -131,10 +128,7 @@ fn operation_algebra_composes() {
     let db = cb.decompress();
     let composed = ca.mul_scalar(2.0).sub(&cb).unwrap();
     let reference = da.mul_scalar(2.0).sub(&db);
-    let err = blazr_util::stats::rms_diff(
-        composed.decompress().as_slice(),
-        reference.as_slice(),
-    );
+    let err = blazr_util::stats::rms_diff(composed.decompress().as_slice(), reference.as_slice());
     assert!(err < 1e-3, "rms {err}");
 }
 

@@ -23,7 +23,10 @@ fn ratio_example_291() {
 fn ratio_example_1066() {
     let a = NdArray::<f64>::zeros(vec![3, 224, 224]);
     let mask = PruningMask::keep_lowest_frequencies(&[4, 4, 4], 32).unwrap();
-    let s = Settings::new(vec![4, 4, 4]).unwrap().with_mask(mask).unwrap();
+    let s = Settings::new(vec![4, 4, 4])
+        .unwrap()
+        .with_mask(mask)
+        .unwrap();
     let c = compress::<f32, i8>(&a, &s).unwrap();
     let ratio = (a.len() * 8) as f64 / c.to_bytes().len() as f64;
     assert!((ratio - 10.66).abs() < 0.01, "ratio {ratio}");
@@ -76,10 +79,20 @@ fn fig5_dtype_and_index_orderings() {
         "{e32} vs {e64}"
     );
     // 16-bit floats are worse than 32-bit at fine binning.
-    assert!(e(F16, I16) > e(F32, I16), "{} vs {}", e(F16, I16), e(F32, I16));
+    assert!(
+        e(F16, I16) > e(F32, I16),
+        "{} vs {}",
+        e(F16, I16),
+        e(F32, I16)
+    );
     assert!(e(BF16, I16) > e(F32, I16));
     // bf16 (7-bit significand) is worse than f16 (10-bit) here.
-    assert!(e(BF16, I16) > e(F16, I16), "{} vs {}", e(BF16, I16), e(F16, I16));
+    assert!(
+        e(BF16, I16) > e(F16, I16),
+        "{} vs {}",
+        e(BF16, I16),
+        e(F16, I16)
+    );
     // Finer binning can't hurt the wide float types (within noise).
     assert!(e(F64, I16) <= e(F64, I8) * 1.05);
 }
@@ -117,10 +130,8 @@ fn fig5_non_hypercubic_ratio_advantage() {
 fn fig6a_scission_detection() {
     let data = series(&FissionConfig::default());
     let s = Settings::new(vec![16, 16, 16]).unwrap();
-    let compressed: Vec<CompressedArray<f32, i16>> = data
-        .iter()
-        .map(|(_, a)| compress(a, &s).unwrap())
-        .collect();
+    let compressed: Vec<CompressedArray<f32, i16>> =
+        data.iter().map(|(_, a)| compress(a, &s).unwrap()).collect();
     let mut diffs = Vec::new();
     for w in 0..data.len() - 1 {
         let unc = reduce::norm_l2(&data[w].1.sub(&data[w + 1].1));
@@ -154,10 +165,8 @@ fn fig6a_scission_detection() {
 fn fig6b_order_sweep_isolates_scission() {
     let data = series(&FissionConfig::default());
     let s = Settings::new(vec![16, 16, 16]).unwrap();
-    let compressed: Vec<CompressedArray<f32, i16>> = data
-        .iter()
-        .map(|(_, a)| compress(a, &s).unwrap())
-        .collect();
+    let compressed: Vec<CompressedArray<f32, i16>> =
+        data.iter().map(|(_, a)| compress(a, &s).unwrap()).collect();
     let separation = |p: f64| -> f64 {
         let mut scission = 0.0;
         let mut noise: f64 = 0.0;
@@ -174,7 +183,10 @@ fn fig6b_order_sweep_isolates_scission() {
     };
     let s2 = separation(2.0);
     let s68 = separation(68.0);
-    assert!(s68 > s2, "p=68 ({s68}) should separate better than p=2 ({s2})");
+    assert!(
+        s68 > s2,
+        "p=68 ({s68}) should separate better than p=2 ({s2})"
+    );
     assert!(s68 > 10.0, "scission should dominate at p=68: {s68}");
 }
 

@@ -11,10 +11,9 @@ use proptest::prelude::*;
 /// Strategy: a small 2-D array with values in [−scale, scale].
 fn small_array() -> impl Strategy<Value = NdArray<f64>> {
     (2usize..24, 2usize..24, 0.1f64..100.0).prop_flat_map(|(r, c, scale)| {
-        proptest::collection::vec(-1.0f64..1.0, r * c)
-            .prop_map(move |v| {
-                NdArray::from_vec(vec![r, c], v.into_iter().map(|x| x * scale).collect())
-            })
+        proptest::collection::vec(-1.0f64..1.0, r * c).prop_map(move |v| {
+            NdArray::from_vec(vec![r, c], v.into_iter().map(|x| x * scale).collect())
+        })
     })
 }
 

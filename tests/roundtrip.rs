@@ -121,11 +121,17 @@ fn pruning_favors_smooth_data_over_noise() {
     let s = Settings::new(vec![8, 8]).unwrap().with_mask(mask).unwrap();
     let es = rms_diff(
         smooth.as_slice(),
-        compress::<f64, i16>(&smooth, &s).unwrap().decompress().as_slice(),
+        compress::<f64, i16>(&smooth, &s)
+            .unwrap()
+            .decompress()
+            .as_slice(),
     ) / blazr_tensor::reduce::std_dev(&smooth);
     let en = rms_diff(
         noise.as_slice(),
-        compress::<f64, i16>(&noise, &s).unwrap().decompress().as_slice(),
+        compress::<f64, i16>(&noise, &s)
+            .unwrap()
+            .decompress()
+            .as_slice(),
     ) / blazr_tensor::reduce::std_dev(&noise);
     assert!(
         es * 5.0 < en,
@@ -139,11 +145,17 @@ fn half_precision_types_roundtrip_reasonably() {
     let s = Settings::new(vec![8, 8]).unwrap();
     let e16 = rms_diff(
         a.as_slice(),
-        compress::<F16, i16>(&a, &s).unwrap().decompress().as_slice(),
+        compress::<F16, i16>(&a, &s)
+            .unwrap()
+            .decompress()
+            .as_slice(),
     );
     let ebf = rms_diff(
         a.as_slice(),
-        compress::<BF16, i16>(&a, &s).unwrap().decompress().as_slice(),
+        compress::<BF16, i16>(&a, &s)
+            .unwrap()
+            .decompress()
+            .as_slice(),
     );
     // Fig. 5 ordering: f16 < bf16 error on unit-scale data.
     assert!(e16 < ebf, "f16 {e16} vs bf16 {ebf}");

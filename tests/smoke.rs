@@ -1,0 +1,113 @@
+//! Fast end-to-end smoke test: one compress, a handful of compressed-space
+//! operations, and error-model checks on a 32×32 array. This is the first
+//! test to read when bisecting a broken pipeline — it exercises every layer
+//! (precision conversion, blocking, transform, binning, ops) in under a
+//! second.
+//!
+//! The assertions follow the paper's error model (Table I + §IV-D):
+//!
+//! * negate / add / dot / mean add **no error beyond compression error**,
+//!   so their compressed-space results must match the same operation on the
+//!   *decompressed* arrays to floating-point precision (add: to within one
+//!   rebinning budget);
+//! * against the *original* arrays they must agree within bounds derived
+//!   from the compression report (`linf_bound`, `total_coeff_l2`).
+
+use blazr::{compress_with_report, Settings};
+use blazr_tensor::{reduce, NdArray};
+use blazr_util::rng::Xoshiro256pp;
+
+/// Tolerance for "no error beyond compression error" claims (f64 path).
+const FP: f64 = 1e-9;
+
+#[test]
+fn end_to_end_smoke_32x32() {
+    let mut rng = Xoshiro256pp::seed_from_u64(2023);
+    let a = NdArray::from_fn(vec![32, 32], |_| rng.uniform_in(-1.0, 1.0));
+    let b = NdArray::from_fn(vec![32, 32], |_| rng.uniform_in(-1.0, 1.0));
+    let settings = Settings::new(vec![8, 8]).unwrap();
+
+    let (ca, ra) = compress_with_report::<f64, i16>(&a, &settings).unwrap();
+    let (cb, rb) = compress_with_report::<f64, i16>(&b, &settings).unwrap();
+    let da = ca.decompress();
+    let db = cb.decompress();
+
+    // Compression itself respects the reported error model.
+    assert_eq!(da.shape(), &[32, 32]);
+    let linf_a = blazr_util::stats::max_abs_diff(a.as_slice(), da.as_slice());
+    assert!(
+        linf_a <= ra.linf_bound() * (1.0 + 1e-9),
+        "compression L∞ {linf_a} exceeds reported bound {}",
+        ra.linf_bound()
+    );
+
+    // Negation: exact involution, and exact vs the decompressed reference.
+    let neg = ca.negate();
+    assert_eq!(neg.negate(), ca, "negation must be an exact involution");
+    let dneg = neg.decompress();
+    for (x, y) in dneg.as_slice().iter().zip(da.as_slice()) {
+        assert_eq!(*x, -*y, "negate must be bit-exact in compressed space");
+    }
+
+    // Addition: matches decompressed reference within one rebinning budget.
+    let sum = ca.add(&cb).unwrap();
+    let dsum = sum.decompress();
+    let reference = da.add(&db);
+    let max_n = sum.biggest().iter().map(|n| n.abs()).fold(0.0f64, f64::max);
+    // Rebinned coefficients each move < half a bin (N/(2r)); after the
+    // orthonormal inverse transform the per-element error is bounded by
+    // the coefficient-error L1, ≤ block_len · N/(2r).
+    let rebin_budget = max_n / (2.0 * 32767.0) * 64.0;
+    let add_err = blazr_util::stats::max_abs_diff(dsum.as_slice(), reference.as_slice());
+    assert!(
+        add_err <= rebin_budget,
+        "add error {add_err} exceeds rebinning budget {rebin_budget}"
+    );
+    // And against the original arrays: compression errors of both inputs
+    // plus the rebinning budget.
+    let vs_original = blazr_util::stats::max_abs_diff(dsum.as_slice(), a.add(&b).as_slice());
+    let budget = ra.linf_bound() + rb.linf_bound() + rebin_budget;
+    assert!(
+        vs_original <= budget * (1.0 + 1e-9),
+        "add-vs-original error {vs_original} exceeds {budget}"
+    );
+
+    // Dot product: exact vs decompressed (orthonormal transform preserves
+    // inner products); near the original within a Cauchy–Schwarz bound
+    // assembled from the reported coefficient-space L2 errors.
+    let dot = ca.dot(&cb).unwrap();
+    let dot_ref = reduce::dot(&da, &db);
+    assert!(
+        (dot - dot_ref).abs() <= FP * dot_ref.abs().max(1.0),
+        "dot {dot} vs decompressed reference {dot_ref}"
+    );
+    let dot_orig = reduce::dot(&a, &b);
+    let cs_bound =
+        reduce::norm_l2(&a) * rb.total_coeff_l2 + reduce::norm_l2(&db) * ra.total_coeff_l2;
+    assert!(
+        (dot - dot_orig).abs() <= cs_bound * (1.0 + 1e-9) + 1e-12,
+        "dot {dot} vs original {dot_orig}: error exceeds Cauchy–Schwarz bound {cs_bound}"
+    );
+
+    // Mean: exact vs decompressed; within the mean absolute error bound
+    // vs the original.
+    let mean = ca.mean().unwrap();
+    let mean_ref = reduce::mean(&da);
+    assert!(
+        (mean - mean_ref).abs() <= FP,
+        "mean {mean} vs decompressed reference {mean_ref}"
+    );
+    let mean_orig = reduce::mean(&a);
+    assert!(
+        (mean - mean_orig).abs() <= ra.linf_bound() * (1.0 + 1e-9),
+        "mean {mean} vs original {mean_orig} beyond L∞ bound {}",
+        ra.linf_bound()
+    );
+
+    // Serialization closes the loop: the operated-on array round-trips.
+    let back = blazr::CompressedArray::<f64, i16>::from_bytes(&sum.to_bytes()).unwrap();
+    assert_eq!(
+        back, sum,
+        "serialized compressed sum must round-trip exactly"
+    );
+}

@@ -5,12 +5,18 @@ use blazr::ops::SsimParams;
 use blazr::{compress, CompressedArray, Settings};
 use blazr_tensor::NdArray;
 use blazr_util::rng::Xoshiro256pp;
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+/// Per-side extent of the N×N benchmark arrays; every op processes N²
+/// uncompressed-equivalent elements per iteration — the same accounting
+/// as the codec bench, so Melem/s lines are comparable across benches
+/// and thread counts. Group names derive from this constant.
+const N: usize = 256;
 
 fn setup() -> (CompressedArray<f32, i16>, CompressedArray<f32, i16>) {
     let mut rng = Xoshiro256pp::seed_from_u64(99);
-    let a = NdArray::from_fn(vec![256, 256], |_| rng.uniform());
-    let b = NdArray::from_fn(vec![256, 256], |_| rng.uniform());
+    let a = NdArray::from_fn(vec![N, N], |_| rng.uniform());
+    let b = NdArray::from_fn(vec![N, N], |_| rng.uniform());
     let settings = Settings::new(vec![8, 8]).unwrap();
     (
         compress(&a, &settings).unwrap(),
@@ -20,8 +26,9 @@ fn setup() -> (CompressedArray<f32, i16>, CompressedArray<f32, i16>) {
 
 fn bench_ops(c: &mut Criterion) {
     let (ca, cb) = setup();
-    let mut g = c.benchmark_group("ops/256x256-f32-i16");
+    let mut g = c.benchmark_group(format!("ops/{N}x{N}-f32-i16"));
     g.sample_size(20);
+    g.throughput(Throughput::Elements((N * N) as u64));
     g.bench_function("negate", |b| b.iter(|| ca.negate()));
     g.bench_function("add", |b| b.iter(|| ca.add(&cb).unwrap()));
     g.bench_function("sub", |b| b.iter(|| ca.sub(&cb).unwrap()));
@@ -49,8 +56,9 @@ fn bench_op_vs_decompress(c: &mut Criterion) {
     // decompress-operate-recompress.
     let (ca, cb) = setup();
     let settings = Settings::new(vec![8, 8]).unwrap();
-    let mut g = c.benchmark_group("add-strategies/256x256");
+    let mut g = c.benchmark_group(format!("add-strategies/{N}x{N}"));
     g.sample_size(10);
+    g.throughput(Throughput::Elements((N * N) as u64));
     g.bench_function("compressed_space", |b| b.iter(|| ca.add(&cb).unwrap()));
     g.bench_function("decompress_add_recompress", |b| {
         b.iter(|| {

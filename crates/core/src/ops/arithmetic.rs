@@ -51,6 +51,7 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
             .par_iter_mut()
             .zip(indices.par_chunks_mut(k))
             .enumerate()
+            .with_min_len(32)
             .for_each_init(
                 || vec![P::zero(); k],
                 |coeffs, (kb, (n_out, idx_out))| {
@@ -102,6 +103,7 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
             .par_iter_mut()
             .zip(indices.par_chunks_mut(k))
             .enumerate()
+            .with_min_len(32)
             .for_each_init(
                 || vec![P::zero(); k],
                 |coeffs, (kb, (n_out, idx_out))| {

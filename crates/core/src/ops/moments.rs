@@ -3,6 +3,7 @@
 
 use crate::{BinIndex, BlazError, CompressedArray};
 use blazr_precision::Real;
+use rayon::prelude::*;
 
 impl<P: Real, I: BinIndex> CompressedArray<P, I> {
     /// Covariance (Algorithm 8): center both arrays' DC coefficients by
@@ -22,7 +23,10 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
             .dc_kept_slot()
             .ok_or(BlazError::DcUnavailable)?;
 
-        // Mean DC per array (the ā·√(Πi) correction of §IV-A-7).
+        // Mean DC per array (the ā·√(Πi) correction of §IV-A-7). A plain
+        // block-order fold: cheap enough that parallel dispatch would
+        // cost more than the loads it distributes, and the combine order
+        // is what the determinism contract fixes anyway.
         let nb = P::from_f64(self.block_count() as f64);
         let mean_dc = |c: &Self| -> P {
             let mut acc = P::zero();
@@ -34,18 +38,30 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         let m1 = mean_dc(self);
         let m2 = mean_dc(other);
 
+        // Per-block partial products in parallel, combined in block order
+        // (the deterministic fixed-shape reduction the parallelism tests
+        // rely on).
         let k = self.kept_per_block();
-        let mut acc = P::zero();
-        for kb in 0..self.block_count() {
-            for slot in 0..k {
-                let mut a = self.coeff(kb, slot);
-                let mut b = other.coeff(kb, slot);
-                if slot == dc_slot {
-                    a = a - m1;
-                    b = b - m2;
+        let partials: Vec<P> = (0..self.block_count())
+            .into_par_iter()
+            .with_min_len(32)
+            .map(|kb| {
+                let mut acc = P::zero();
+                for slot in 0..k {
+                    let mut a = self.coeff(kb, slot);
+                    let mut b = other.coeff(kb, slot);
+                    if slot == dc_slot {
+                        a = a - m1;
+                        b = b - m2;
+                    }
+                    acc = acc + a * b;
                 }
-                acc = acc + a * b;
-            }
+                acc
+            })
+            .collect();
+        let mut acc = P::zero();
+        for p in partials {
+            acc = acc + p;
         }
         let total = P::from_f64((self.block_count() * self.settings.block_len()) as f64);
         Ok(acc / total)
@@ -74,6 +90,8 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         let k = self.kept_per_block();
         let len = self.settings.block_len() as f64;
         Ok((0..self.block_count())
+            .into_par_iter()
+            .with_min_len(32)
             .map(|kb| {
                 let mut sum_sq = 0.0;
                 for slot in 0..k {
@@ -107,6 +125,8 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         let k = self.kept_per_block();
         let len = self.settings.block_len() as f64;
         Ok((0..self.block_count())
+            .into_par_iter()
+            .with_min_len(32)
             .map(|kb| {
                 let mut acc = 0.0;
                 for slot in 0..k {

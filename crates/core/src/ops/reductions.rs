@@ -18,6 +18,7 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         let k = self.kept_per_block();
         let partials: Vec<P> = (0..self.block_count())
             .into_par_iter()
+            .with_min_len(32)
             .map(|kb| {
                 let mut acc = P::zero();
                 for slot in 0..k {
@@ -38,6 +39,7 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         let k = self.kept_per_block();
         let partials: Vec<P> = (0..self.block_count())
             .into_par_iter()
+            .with_min_len(32)
             .map(|kb| {
                 let mut acc = P::zero();
                 for slot in 0..k {
@@ -61,7 +63,12 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
             .mask
             .dc_kept_slot()
             .ok_or(BlazError::DcUnavailable)?;
+        // Each item is two loads and a multiply: only worth fanning out
+        // for thousands of blocks (the min-length hint keeps small
+        // gathers on the calling thread).
         Ok((0..self.block_count())
+            .into_par_iter()
+            .with_min_len(1024)
             .map(|kb| self.coeff(kb, slot))
             .collect())
     }

@@ -23,9 +23,29 @@ use blazr_precision::StorableReal;
 use blazr_tensor::shape::{ceil_div, num_elements};
 use blazr_transform::TransformKind;
 use blazr_util::bits::{BitReader, BitWriter};
+use rayon::prelude::*;
 
 /// Sentinel terminating the shape list. Valid extents are far smaller.
 const SHAPE_END: u64 = u64::MAX;
+
+/// Blocks per parallel piece when encoding/decoding the payload. The
+/// payload's fields are fixed-width, so any block range has a computable
+/// bit offset and pieces can be processed independently; the spliced
+/// stream is bit-identical to a sequential pass regardless of piece size
+/// or thread count.
+const BLOCKS_PER_PIECE: usize = 512;
+
+/// Contiguous block ranges `[lo, hi)` covering `0..n_blocks`.
+fn block_ranges(n_blocks: usize) -> Vec<(usize, usize)> {
+    (0..n_blocks.div_ceil(BLOCKS_PER_PIECE))
+        .map(|i| {
+            (
+                i * BLOCKS_PER_PIECE,
+                ((i + 1) * BLOCKS_PER_PIECE).min(n_blocks),
+            )
+        })
+        .collect()
+}
 
 impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
     /// Serializes to bytes using the §IV-C layout.
@@ -44,16 +64,44 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         for &b in self.settings.mask.as_bools() {
             w.write_bit(b);
         }
-        for &n in &self.biggest {
-            w.write_bits(n.to_bits_u64(), P::BITS);
-        }
+        let n_blocks = self.biggest.len();
+        let k = self.kept_per_block();
         let mask = if I::BITS == 64 {
             u64::MAX
         } else {
             (1u64 << I::BITS) - 1
         };
-        for &f in &self.indices {
-            w.write_bits(f.to_i64() as u64 & mask, I::BITS);
+        // Payload: per-piece sub-streams encoded in parallel, spliced in
+        // block order (bit-identical to a sequential pass).
+        let biggest = &self.biggest;
+        let biggest_parts: Vec<(Vec<u8>, usize)> = block_ranges(n_blocks)
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut pw = BitWriter::new();
+                for &n in &biggest[lo..hi] {
+                    pw.write_bits(n.to_bits_u64(), P::BITS);
+                }
+                let bit_len = pw.bit_len();
+                (pw.into_bytes(), bit_len)
+            })
+            .collect();
+        for (bytes, bit_len) in &biggest_parts {
+            w.append_bits(bytes, *bit_len);
+        }
+        let indices = &self.indices;
+        let index_parts: Vec<(Vec<u8>, usize)> = block_ranges(n_blocks)
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut pw = BitWriter::new();
+                for &f in &indices[lo * k..hi * k] {
+                    pw.write_bits(f.to_i64() as u64 & mask, I::BITS);
+                }
+                let bit_len = pw.bit_len();
+                (pw.into_bytes(), bit_len)
+            })
+            .collect();
+        for (bytes, bit_len) in &index_parts {
+            w.append_bits(bytes, *bit_len);
         }
         debug_assert_eq!(
             w.bit_len() as u64,
@@ -150,22 +198,45 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         if (r.remaining() as u64) < payload_bits {
             return Err(bad("stream shorter than its header claims"));
         }
-        let mut biggest = Vec::with_capacity(n_blocks);
-        for _ in 0..n_blocks {
-            let bits = r
-                .read_bits(P::BITS)
-                .ok_or_else(|| bad("truncated biggest coefficients"))?;
-            biggest.push(P::from_bits_u64(bits));
-        }
+        // Decode the payload in parallel pieces: every field is
+        // fixed-width, so each piece's bit offset is computable and a
+        // private `BitReader` can start right there. Lengths were
+        // validated above, so in-piece reads cannot run out.
         let kept = settings.mask.kept_count();
+        let biggest_start = r.bit_pos();
+        let index_start = biggest_start + n_blocks * P::BITS as usize;
+        let biggest_parts: Vec<Vec<P>> = block_ranges(n_blocks)
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut pr = BitReader::at(bytes, biggest_start + lo * P::BITS as usize);
+                (lo..hi)
+                    .map(|_| {
+                        P::from_bits_u64(pr.read_bits(P::BITS).expect("payload length validated"))
+                    })
+                    .collect::<Vec<P>>()
+            })
+            .collect();
+        let mut biggest = Vec::with_capacity(n_blocks);
+        for part in biggest_parts {
+            biggest.extend(part);
+        }
+        let index_parts: Vec<Vec<I>> = block_ranges(n_blocks)
+            .into_par_iter()
+            .map(|(lo, hi)| {
+                let mut pr = BitReader::at(bytes, index_start + lo * kept * I::BITS as usize);
+                (lo * kept..hi * kept)
+                    .map(|_| {
+                        let raw = pr.read_bits(I::BITS).expect("payload length validated");
+                        // Sign-extend from I::BITS.
+                        let shifted = (raw as i64) << (64 - I::BITS);
+                        I::from_i64(shifted >> (64 - I::BITS))
+                    })
+                    .collect::<Vec<I>>()
+            })
+            .collect();
         let mut indices = Vec::with_capacity(n_blocks * kept);
-        for _ in 0..n_blocks * kept {
-            let raw = r
-                .read_bits(I::BITS)
-                .ok_or_else(|| bad("truncated indices"))?;
-            // Sign-extend from I::BITS.
-            let shifted = (raw as i64) << (64 - I::BITS);
-            indices.push(I::from_i64(shifted >> (64 - I::BITS)));
+        for part in index_parts {
+            indices.extend(part);
         }
         Ok(Self {
             shape,

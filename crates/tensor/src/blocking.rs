@@ -6,12 +6,9 @@
 //! blocks independently and in parallel. Blocking is the only exactly
 //! invertible step of the compression pipeline.
 
-use crate::shape::{advance, ceil_div, num_elements, unravel};
+use crate::shape::{advance, ceil_div, num_elements, strides_row_major, unravel};
 use crate::NdArray;
 use rayon::prelude::*;
-
-/// Minimum number of blocks before partitioning fans out to Rayon.
-const PAR_BLOCKS: usize = 64;
 
 /// A block-partitioned array: `num_blocks` blocks of shape `block_shape`,
 /// each stored contiguously in row-major order.
@@ -39,18 +36,15 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
         let mut data = vec![T::default(); n_blocks * block_len];
 
         let src = array.as_slice();
-        let gather = |kb: usize, out: &mut [T]| {
-            gather_block(src, &s, &num_blocks, block_shape, kb, out);
-        };
-        if n_blocks >= PAR_BLOCKS {
-            data.par_chunks_mut(block_len)
-                .enumerate()
-                .for_each(|(kb, chunk)| gather(kb, chunk));
-        } else {
-            for (kb, chunk) in data.chunks_mut(block_len).enumerate() {
-                gather(kb, chunk);
-            }
-        }
+        // Per-piece work should cover a few thousand elements before a
+        // thread team is worth spawning.
+        let min_blocks = (2048 / block_len.max(1)).max(1);
+        data.par_chunks_mut(block_len)
+            .with_min_len(min_blocks)
+            .enumerate()
+            .for_each(|(kb, chunk)| {
+                gather_block(src, &s, &num_blocks, block_shape, kb, chunk);
+            });
         Self {
             num_blocks,
             block_shape: block_shape.to_vec(),
@@ -73,6 +67,12 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
 
     /// Merges blocks back into an array of shape `orig_shape`, cropping any
     /// padding. Inverse of [`Blocked::partition`].
+    ///
+    /// Parallelized over output rows (innermost-dimension lines): each row
+    /// belongs to exactly one block row, so rows are gathered from the
+    /// block-major buffer independently — the write side of the merge is
+    /// disjoint by construction and the result is identical at any thread
+    /// count.
     pub fn merge(&self, orig_shape: &[usize]) -> NdArray<T> {
         assert_eq!(orig_shape.len(), self.block_shape.len());
         assert_eq!(
@@ -80,18 +80,47 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
             self.num_blocks,
             "original shape inconsistent with block arrangement"
         );
-        let mut out = NdArray::full(orig_shape.to_vec(), T::default());
-        let dst = out.as_mut_slice();
-        for (kb, block) in self.data.chunks(self.block_len).enumerate() {
-            scatter_block(
-                dst,
-                orig_shape,
-                &self.num_blocks,
-                &self.block_shape,
-                kb,
-                block,
-            );
+        let d = orig_shape.len();
+        if d == 0 {
+            return NdArray::from_vec(vec![], vec![self.data[0]]);
         }
+        let inner = orig_shape[d - 1];
+        let outer_shape = &orig_shape[..d - 1];
+        let bs = &self.block_shape;
+        let nb = &self.num_blocks;
+        let block_strides = strides_row_major(bs);
+        let block_len = self.block_len;
+        let inner_bs = bs[d - 1];
+        let data = &self.data;
+
+        let mut out = NdArray::full(orig_shape.to_vec(), T::default());
+        let min_rows = (2048 / inner.max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(inner.max(1))
+            .with_min_len(min_rows)
+            .enumerate()
+            .for_each(|(row, line)| {
+                // Which block row this output line lives in, and the
+                // line's offset inside each of that row's blocks.
+                let o = unravel(row, outer_shape);
+                let mut kb_prefix = 0usize;
+                let mut in_block = 0usize;
+                for k in 0..d - 1 {
+                    kb_prefix = kb_prefix * nb[k] + o[k] / bs[k];
+                    in_block += (o[k] % bs[k]) * block_strides[k];
+                }
+                // Copy the valid prefix of each block along the row.
+                for j in 0..nb[d - 1] {
+                    let start = j * inner_bs;
+                    if start >= inner {
+                        break;
+                    }
+                    let n = inner_bs.min(inner - start);
+                    let kb = kb_prefix * nb[d - 1] + j;
+                    let src = &data[kb * block_len + in_block..kb * block_len + in_block + n];
+                    line[start..start + n].copy_from_slice(src);
+                }
+            });
         out
     }
 
@@ -205,51 +234,6 @@ fn gather_block<T: Copy + Default>(
     }
 }
 
-/// Writes one block back into `dst` (shape `s`), skipping padding.
-fn scatter_block<T: Copy>(
-    dst: &mut [T],
-    s: &[usize],
-    num_blocks: &[usize],
-    bs: &[usize],
-    kb: usize,
-    block: &[T],
-) {
-    let d = s.len();
-    if d == 0 {
-        dst[0] = block[0];
-        return;
-    }
-    let kidx = unravel(kb, num_blocks);
-    let base: Vec<usize> = kidx.iter().zip(bs).map(|(&k, &b)| k * b).collect();
-    let strides = crate::shape::strides_row_major(s);
-
-    let row_dims = &bs[..d - 1];
-    let inner = bs[d - 1];
-    let valid_inner = s[d - 1].saturating_sub(base[d - 1]).min(inner);
-    let mut t = vec![0usize; d - 1];
-    let mut blk_off = 0;
-    loop {
-        let mut in_bounds = true;
-        let mut dst_off = base[d - 1];
-        for k in 0..d - 1 {
-            let pos = base[k] + t[k];
-            if pos >= s[k] {
-                in_bounds = false;
-                break;
-            }
-            dst_off += pos * strides[k];
-        }
-        if in_bounds && valid_inner > 0 {
-            dst[dst_off..dst_off + valid_inner]
-                .copy_from_slice(&block[blk_off..blk_off + valid_inner]);
-        }
-        blk_off += inner;
-        if row_dims.is_empty() || !advance(&mut t, row_dims) {
-            break;
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -332,7 +316,8 @@ mod tests {
 
     #[test]
     fn many_blocks_parallel_path() {
-        // > PAR_BLOCKS blocks to exercise the Rayon branch.
+        // Enough blocks that the partition/merge work splits into many
+        // parallel pieces.
         let a = ramp(vec![64, 64]);
         let blocked = Blocked::partition(&a, &[4, 4]);
         assert_eq!(blocked.block_count(), 256);

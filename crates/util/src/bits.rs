@@ -6,6 +6,16 @@
 //! to inspect in hex dumps and matches the convention of the paper's §IV-C
 //! accounting.
 
+/// A mask of the low `n` bits (`n <= 64`).
+#[inline]
+fn low_mask(n: u32) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
 /// Accumulates bits MSB-first into a byte vector.
 #[derive(Default, Debug, Clone)]
 pub struct BitWriter {
@@ -43,11 +53,63 @@ impl BitWriter {
         }
     }
 
-    /// Writes the low `n` bits of `value`, most significant of those first.
+    /// Writes the low `n` bits of `value`, most significant of those
+    /// first. Word-level: fills the current partial byte, then emits whole
+    /// bytes directly (the serializer's hot path).
     pub fn write_bits(&mut self, value: u64, n: u32) {
         assert!(n <= 64);
-        for i in (0..n).rev() {
-            self.write_bit((value >> i) & 1 == 1);
+        let mut left = n;
+        // Top up the current partial byte.
+        if self.free > 0 && left > 0 {
+            let take = self.free.min(left);
+            let chunk = (value >> (left - take)) & low_mask(take);
+            let last = self.bytes.last_mut().expect("partial byte exists");
+            *last |= (chunk as u8) << (self.free - take);
+            self.free -= take;
+            left -= take;
+        }
+        // Whole bytes.
+        while left >= 8 {
+            self.bytes.push((value >> (left - 8)) as u8);
+            left -= 8;
+        }
+        // Leftover high bits of a fresh byte.
+        if left > 0 {
+            let chunk = (value & low_mask(left)) as u8;
+            self.bytes.push(chunk << (8 - left));
+            self.free = 8 - left;
+        }
+    }
+
+    /// Appends the first `bit_len` bits of another stream's bytes (as
+    /// produced by [`BitWriter::into_bytes`]). This is what lets
+    /// serialization chunk its payload into independently written pieces
+    /// and splice them back in order.
+    pub fn append_bits(&mut self, bytes: &[u8], bit_len: usize) {
+        assert!(bit_len <= bytes.len() * 8, "bit_len exceeds byte data");
+        let full = bit_len / 8;
+        let rem = (bit_len % 8) as u32;
+        if self.free == 0 {
+            // Byte-aligned fast path: splice whole bytes directly.
+            self.bytes.extend_from_slice(&bytes[..full]);
+            if rem > 0 {
+                self.bytes.push(bytes[full] & (0xFFu8 << (8 - rem)));
+                self.free = 8 - rem;
+            }
+        } else {
+            // Unaligned splice: each source byte's top `free` bits finish
+            // the current partial byte and the rest open the next one, so
+            // `free` is invariant across the loop — two shifts per byte.
+            let free = self.free;
+            self.bytes.reserve(full + 1);
+            for &b in &bytes[..full] {
+                let last = self.bytes.last_mut().expect("partial byte exists");
+                *last |= b >> (8 - free);
+                self.bytes.push(b << free);
+            }
+            if rem > 0 {
+                self.write_bits((bytes[full] >> (8 - rem)) as u64, rem);
+            }
         }
     }
 
@@ -80,6 +142,16 @@ impl<'a> BitReader<'a> {
         Self { bytes, pos: 0 }
     }
 
+    /// Creates a reader positioned at `bit_pos` (clamped to the end).
+    /// Fixed-width payload sections have computable per-element offsets,
+    /// so independent readers can decode ranges of a stream in parallel.
+    pub fn at(bytes: &'a [u8], bit_pos: usize) -> Self {
+        Self {
+            pos: bit_pos.min(bytes.len() * 8),
+            bytes,
+        }
+    }
+
     /// Current bit position.
     pub fn bit_pos(&self) -> usize {
         self.pos
@@ -107,15 +179,36 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `n` bits into the low bits of a `u64`. Returns `None` if the
-    /// stream is exhausted first.
+    /// stream is exhausted first. Word-level: finishes the current partial
+    /// byte, then consumes whole bytes directly.
     pub fn read_bits(&mut self, n: u32) -> Option<u64> {
         assert!(n <= 64);
         if self.remaining() < n as usize {
             return None;
         }
         let mut v = 0u64;
-        for _ in 0..n {
-            v = (v << 1) | self.read_bit()? as u64;
+        let mut left = n;
+        // Finish the current partial byte.
+        let in_byte = (self.pos % 8) as u32;
+        if in_byte != 0 && left > 0 {
+            let avail = 8 - in_byte;
+            let take = avail.min(left);
+            let byte = self.bytes[self.pos / 8] as u64;
+            v = (byte >> (avail - take)) & low_mask(take);
+            self.pos += take as usize;
+            left -= take;
+        }
+        // Whole bytes.
+        while left >= 8 {
+            v = (v << 8) | self.bytes[self.pos / 8] as u64;
+            self.pos += 8;
+            left -= 8;
+        }
+        // Leading bits of the next byte.
+        if left > 0 {
+            let byte = self.bytes[self.pos / 8] as u64;
+            v = (v << left) | (byte >> (8 - left));
+            self.pos += left as usize;
         }
         Some(v)
     }
@@ -204,6 +297,61 @@ mod tests {
                 assert_eq!(r.read_bits(n), Some(v));
             }
         }
+    }
+
+    #[test]
+    fn append_bits_splices_streams_at_any_alignment() {
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
+        for lead in 0..17usize {
+            // Reference: one writer fed everything.
+            let fields: Vec<(u64, u32)> = (0..100)
+                .map(|_| {
+                    let n = rng.range(1, 65) as u32;
+                    (rng.next_u64() & low_mask(n), n)
+                })
+                .collect();
+            let mut reference = BitWriter::new();
+            for _ in 0..lead {
+                reference.write_bit(true);
+            }
+            for &(v, n) in &fields {
+                reference.write_bits(v, n);
+            }
+
+            // Same stream via two sub-writers spliced with append_bits.
+            let mut w = BitWriter::new();
+            for _ in 0..lead {
+                w.write_bit(true);
+            }
+            let (first, second) = fields.split_at(fields.len() / 2);
+            for part in [first, second] {
+                let mut pw = BitWriter::new();
+                for &(v, n) in part {
+                    pw.write_bits(v, n);
+                }
+                let bit_len = pw.bit_len();
+                w.append_bits(&pw.into_bytes(), bit_len);
+            }
+            assert_eq!(w.bit_len(), reference.bit_len(), "lead {lead}");
+            assert_eq!(w.into_bytes(), reference.into_bytes(), "lead {lead}");
+        }
+    }
+
+    #[test]
+    fn reader_at_matches_sequential_reader() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        for i in 0..50u64 {
+            w.write_bits(i, 13);
+        }
+        let bytes = w.into_bytes();
+        for i in 0..50 {
+            let mut r = BitReader::at(&bytes, 3 + i * 13);
+            assert_eq!(r.read_bits(13), Some(i as u64));
+        }
+        // Past-the-end offsets clamp and read nothing.
+        let mut r = BitReader::at(&bytes, 1 << 20);
+        assert_eq!(r.read_bit(), None);
     }
 
     #[test]

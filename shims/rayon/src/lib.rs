@@ -1,140 +1,847 @@
-//! Sequential, dependency-free stand-in for the subset of the [rayon]
-//! API the blazr workspace uses.
+//! Dependency-free, genuinely parallel stand-in for the subset of the
+//! [rayon] API the blazr workspace uses.
 //!
 //! The build environment has no network access to crates.io, so this shim
-//! provides the same *names and signatures* the real crate would, backed
-//! by plain sequential `std` iterators. Swapping in the real rayon is a
-//! one-line change in the workspace manifest (point the `rayon` workspace
-//! dependency at the registry instead of `shims/rayon`); no source file
-//! needs to change because every call site compiles against this exact
+//! provides the same *names and signatures* the real crate would — but
+//! unlike the original sequential stand-in, work is now actually
+//! distributed across OS threads (`std::thread::scope`) with chunked work
+//! splitting. Swapping in the real rayon remains a one-line change in the
+//! workspace manifest; every call site compiles against this exact
 //! surface:
 //!
 //! * `par_iter` / `par_iter_mut` / `par_chunks` / `par_chunks_mut` on
-//!   slices (returning the corresponding `std::slice` iterators),
+//!   slices,
 //! * `into_par_iter` on ranges and vectors,
-//! * the `for_each_init` consumer from rayon's `ParallelIterator`,
-//! * `ThreadPoolBuilder` / `ThreadPool::install`.
+//! * the `map` / `zip` / `enumerate` / `with_min_len` adaptors and the
+//!   `for_each` / `for_each_init` / `sum` / `reduce` / `collect`
+//!   consumers from rayon's `ParallelIterator`,
+//! * `ThreadPoolBuilder` / `ThreadPool::install` /
+//!   [`current_num_threads`].
+//!
+//! # Threading model
+//!
+//! Every consumer splits its input into **pieces** and executes them on a
+//! scoped thread team: the calling thread plus up to
+//! `current_num_threads() − 1` workers pulling piece indices from a shared
+//! queue. The team size comes from, in decreasing precedence:
+//!
+//! 1. an enclosing [`ThreadPool::install`] scope (thread-local),
+//! 2. the `BLAZR_NUM_THREADS` environment variable (read once),
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Nested parallel calls inside a worker run inline on that worker — the
+//! team never recursively multiplies.
+//!
+//! # Determinism contract
+//!
+//! Piece boundaries are a pure function of the iterator **length** (and
+//! any `with_min_len` hint) — never of the thread count or scheduling.
+//! Order-sensitive consumers (`sum`, `reduce`, `collect`) combine their
+//! per-piece partial results *in piece order* on the calling thread, so
+//! every consumer returns **bit-identical results at any thread count**,
+//! including floating-point reductions. This is the fixed-shape
+//! tree-combining contract `tests/parallel_determinism.rs` locks in; keep
+//! it when extending the shim.
 //!
 //! [rayon]: https://docs.rs/rayon
 #![forbid(unsafe_code)]
 
-/// Iterator adaptors and the `for_each_init` consumer.
-pub mod iter {
-    /// Sequential stand-in for rayon's `ParallelIterator` extension
-    /// methods that have no `std::iter::Iterator` equivalent.
-    ///
-    /// Blanket-implemented for every iterator, so chains like
-    /// `slice.par_iter_mut().zip(..).enumerate().for_each_init(..)`
-    /// resolve exactly as they would with the real crate.
-    pub trait ParallelIterator: Iterator + Sized {
-        /// Runs `op` on every item with a per-"thread" scratch value
-        /// created by `init` (one scratch total in this sequential shim).
-        fn for_each_init<T, INIT, OP>(self, init: INIT, mut op: OP)
-        where
-            INIT: FnMut() -> T,
-            OP: FnMut(&mut T, Self::Item),
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+// ---------------------------------------------------------------------------
+// Thread-count resolution and the execution engine.
+
+thread_local! {
+    /// Thread count forced by an enclosing `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+    /// True on team worker threads (and on the calling thread while it
+    /// works through pieces): nested parallel calls then run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Default team size: `BLAZR_NUM_THREADS` if set to a positive integer,
+/// otherwise the machine's available parallelism. Read once per process.
+fn default_num_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        match std::env::var("BLAZR_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
         {
-            let mut init = init;
-            let mut scratch = init();
-            for item in self {
-                op(&mut scratch, item);
-            }
+            Some(n) if n > 0 => n,
+            _ => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
         }
+    })
+}
 
-        /// Length hint; a no-op sequentially.
-        fn with_min_len(self, _min: usize) -> Self {
-            self
-        }
+/// The thread count parallel consumers will use right now: an enclosing
+/// [`ThreadPool::install`] scope's count, else the process default.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
 
-        /// Length hint; a no-op sequentially.
-        fn with_max_len(self, _max: usize) -> Self {
-            self
+/// Restores a thread-local `Cell` value on drop (panic-safe).
+struct CellRestore<T: Copy + 'static> {
+    cell: &'static std::thread::LocalKey<Cell<T>>,
+    prev: T,
+}
+
+impl<T: Copy + 'static> CellRestore<T> {
+    fn set(cell: &'static std::thread::LocalKey<Cell<T>>, value: T) -> Self {
+        let prev = cell.with(|c| c.replace(value));
+        Self { cell, prev }
+    }
+}
+
+impl<T: Copy + 'static> Drop for CellRestore<T> {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        self.cell.with(|c| c.set(prev));
+    }
+}
+
+/// Execution engine shared by all consumers.
+mod engine {
+    use super::iter::ParallelIterator;
+    use super::*;
+
+    /// Upper bound on pieces per consumer call. Piece shape is a function
+    /// of length only (never thread count) — see the determinism contract
+    /// in the crate docs.
+    pub(crate) const MAX_PIECES: usize = 64;
+
+    /// Number of pieces a `len`-item iterator splits into.
+    pub(crate) fn piece_count(len: usize, min_piece_len: usize) -> usize {
+        if len == 0 {
+            return 1;
         }
+        len.min(MAX_PIECES).min((len / min_piece_len.max(1)).max(1))
     }
 
-    impl<I: Iterator> ParallelIterator for I {}
-
-    /// `into_par_iter` for owned collections and ranges.
-    pub trait IntoParallelIterator {
-        /// The iterator produced.
-        type Iter: Iterator<Item = Self::Item>;
-        /// Item type.
-        type Item;
-        /// Converts `self` into a (sequential) "parallel" iterator.
-        fn into_par_iter(self) -> Self::Iter;
+    /// True when a consumer would execute on the calling thread anyway
+    /// (team of one, or already inside a worker). *Order-insensitive*
+    /// consumers (`for_each`, `for_each_init`, `collect`) use this to
+    /// skip piece splitting entirely — their output is independent of
+    /// piece shape, so the fast path is bit-identical by construction.
+    /// Order-sensitive consumers (`sum`, `reduce`) must NOT: their piece
+    /// shape fixes the floating-point combining tree, which has to match
+    /// between sequential and parallel runs.
+    pub(crate) fn sequential() -> bool {
+        current_num_threads() <= 1 || IN_WORKER.with(Cell::get)
     }
 
-    impl<T> IntoParallelIterator for Vec<T> {
-        type Iter = std::vec::IntoIter<T>;
-        type Item = T;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    impl<T> IntoParallelIterator for std::ops::Range<T>
+    /// Splits `producer` into deterministic pieces, runs `f` on every
+    /// piece (in parallel when the current team has more than one thread),
+    /// and returns the per-piece results **in piece order**.
+    pub(crate) fn run<P, R, F>(producer: P, f: &F) -> Vec<R>
     where
-        std::ops::Range<T>: Iterator<Item = T>,
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P) -> R + Sync,
     {
-        type Iter = std::ops::Range<T>;
-        type Item = T;
-        fn into_par_iter(self) -> Self::Iter {
-            self
+        let len = producer.len();
+        let n_pieces = piece_count(len, producer.min_piece_len());
+        if n_pieces <= 1 {
+            return vec![f(producer)];
+        }
+
+        // Fixed-shape split: piece i covers [i·len/n, (i+1)·len/n).
+        let mut pieces = Vec::with_capacity(n_pieces);
+        let mut rest = producer;
+        let mut start = 0;
+        for i in 1..n_pieces {
+            let cut = i * len / n_pieces;
+            let (head, tail) = rest.split_at(cut - start);
+            pieces.push(head);
+            rest = tail;
+            start = cut;
+        }
+        pieces.push(rest);
+
+        let threads = current_num_threads().min(n_pieces);
+        if threads <= 1 || IN_WORKER.with(Cell::get) {
+            return pieces.into_iter().map(f).collect();
+        }
+
+        // Work queue: each slot holds one piece; workers claim indices
+        // from `next` and store results by index, so scheduling order
+        // never affects the combined output.
+        let slots: Vec<Mutex<Option<P>>> =
+            pieces.into_iter().map(|p| Mutex::new(Some(p))).collect();
+        let results: Vec<Mutex<Option<R>>> = (0..slots.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|scope| {
+            for _ in 1..threads {
+                // Best-effort: if the OS refuses a thread, the remaining
+                // team (at least the calling thread) still drains the
+                // queue.
+                let _ = std::thread::Builder::new()
+                    .name("blazr-rayon-worker".into())
+                    .spawn_scoped(scope, || {
+                        let _guard = CellRestore::set(&IN_WORKER, true);
+                        drain(&slots, &results, &next, f);
+                    });
+            }
+            let _guard = CellRestore::set(&IN_WORKER, true);
+            drain(&slots, &results, &next, f);
+        });
+
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("worker panics propagate before results are read")
+                    .expect("every piece is executed exactly once")
+            })
+            .collect()
+    }
+
+    /// Claims and executes pieces until the queue is empty.
+    fn drain<P, R, F>(
+        slots: &[Mutex<Option<P>>],
+        results: &[Mutex<Option<R>>],
+        next: &AtomicUsize,
+        f: &F,
+    ) where
+        F: Fn(P) -> R,
+    {
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= slots.len() {
+                return;
+            }
+            let piece = slots[i]
+                .lock()
+                .expect("piece slot lock")
+                .take()
+                .expect("each piece slot is claimed exactly once");
+            let r = f(piece);
+            *results[i].lock().expect("result slot lock") = Some(r);
         }
     }
 }
 
-/// Slice-level parallel views (sequential here).
+// ---------------------------------------------------------------------------
+// The parallel-iterator trait, adaptors, and consumers.
+
+/// Iterator adaptors and consumers.
+pub mod iter {
+    use super::engine;
+
+    /// A splittable, length-aware parallel iterator.
+    ///
+    /// Unlike the `std` iterator trait this is a *producer* model: the
+    /// engine splits `self` into pieces ([`ParallelIterator::split_at`]),
+    /// hands the pieces to a thread team, and each piece drains
+    /// sequentially through [`ParallelIterator::into_seq`]. See the crate
+    /// docs for the determinism contract.
+    pub trait ParallelIterator: Sized + Send {
+        /// The element type.
+        type Item: Send;
+        /// The sequential iterator a piece drains through.
+        type SeqIter: Iterator<Item = Self::Item>;
+
+        /// Exact number of remaining items.
+        fn len(&self) -> usize;
+
+        /// True if no items remain.
+        fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Splits into `[0, index)` and `[index, len)`.
+        fn split_at(self, index: usize) -> (Self, Self);
+
+        /// Converts this piece into a sequential iterator.
+        fn into_seq(self) -> Self::SeqIter;
+
+        /// Minimum items per piece (set by [`ParallelIterator::with_min_len`]).
+        fn min_piece_len(&self) -> usize {
+            1
+        }
+
+        // ----- adaptors ---------------------------------------------------
+
+        /// Maps every item through `f`.
+        fn map<R, F>(self, f: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Clone + Send,
+        {
+            Map { base: self, f }
+        }
+
+        /// Pairs items with another parallel iterator, stopping at the
+        /// shorter of the two.
+        fn zip<B: ParallelIterator>(self, other: B) -> Zip<Self, B> {
+            Zip { a: self, b: other }
+        }
+
+        /// Pairs every item with its index.
+        fn enumerate(self) -> Enumerate<Self> {
+            Enumerate {
+                base: self,
+                offset: 0,
+            }
+        }
+
+        /// Requests at least `min` items per piece. Affects piece shape
+        /// (deterministically — length-derived, not thread-derived).
+        fn with_min_len(self, min: usize) -> MinLen<Self> {
+            MinLen {
+                base: self,
+                min: min.max(1),
+            }
+        }
+
+        /// Maximum-length hint; accepted and ignored (piece shape is
+        /// already bounded by the engine).
+        fn with_max_len(self, _max: usize) -> Self {
+            self
+        }
+
+        // ----- consumers --------------------------------------------------
+
+        /// Runs `op` on every item, in parallel.
+        fn for_each<OP>(self, op: OP)
+        where
+            OP: Fn(Self::Item) + Sync,
+        {
+            if engine::sequential() {
+                for item in self.into_seq() {
+                    op(item);
+                }
+                return;
+            }
+            engine::run(self, &|piece: Self| {
+                for item in piece.into_seq() {
+                    op(item);
+                }
+            });
+        }
+
+        /// Runs `op` on every item with a scratch value created by `init`
+        /// once per piece (per-"thread" in rayon's terms). As in real
+        /// rayon, `op` must not carry state between items through the
+        /// scratch — how often `init` runs is unspecified.
+        fn for_each_init<T, INIT, OP>(self, init: INIT, op: OP)
+        where
+            INIT: Fn() -> T + Sync,
+            OP: Fn(&mut T, Self::Item) + Sync,
+        {
+            if engine::sequential() {
+                let mut scratch = init();
+                for item in self.into_seq() {
+                    op(&mut scratch, item);
+                }
+                return;
+            }
+            engine::run(self, &|piece: Self| {
+                let mut scratch = init();
+                for item in piece.into_seq() {
+                    op(&mut scratch, item);
+                }
+            });
+        }
+
+        /// Sums the items. Per-piece partial sums are combined in piece
+        /// order, so the result is identical at any thread count.
+        fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+        {
+            engine::run(self, &|piece: Self| piece.into_seq().sum::<S>())
+                .into_iter()
+                .sum()
+        }
+
+        /// Reduces with `op` starting from `identity`. Piece partials are
+        /// folded left-to-right in piece order (fixed-shape combining).
+        fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+        where
+            ID: Fn() -> Self::Item + Sync,
+            OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync,
+        {
+            engine::run(self, &|piece: Self| piece.into_seq().fold(identity(), &op))
+                .into_iter()
+                .fold(identity(), &op)
+        }
+
+        /// Collects into `C`, preserving item order.
+        fn collect<C>(self) -> C
+        where
+            C: FromParallelIterator<Self::Item>,
+        {
+            C::from_par_iter(self)
+        }
+    }
+
+    /// Collection types constructible from a parallel iterator.
+    pub trait FromParallelIterator<T: Send>: Sized {
+        /// Builds `Self`, preserving the iterator's item order.
+        fn from_par_iter<P>(par_iter: P) -> Self
+        where
+            P: ParallelIterator<Item = T>;
+    }
+
+    impl<T: Send> FromParallelIterator<T> for Vec<T> {
+        fn from_par_iter<P>(par_iter: P) -> Self
+        where
+            P: ParallelIterator<Item = T>,
+        {
+            // Collect preserves item order whatever the piece shape, so
+            // the sequential fast path is bit-identical to the
+            // piece-then-concatenate parallel path.
+            if engine::sequential() {
+                return par_iter.into_seq().collect();
+            }
+            let parts = engine::run(par_iter, &|piece: P| piece.into_seq().collect::<Vec<T>>());
+            let total = parts.iter().map(Vec::len).sum();
+            let mut out = Vec::with_capacity(total);
+            for part in parts {
+                out.extend(part);
+            }
+            out
+        }
+    }
+
+    /// `into_par_iter` for owned collections and ranges.
+    pub trait IntoParallelIterator {
+        /// The parallel iterator produced.
+        type Iter: ParallelIterator<Item = Self::Item>;
+        /// Item type.
+        type Item: Send;
+        /// Converts `self` into a parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Iter = crate::vec::IntoIter<T>;
+        type Item = T;
+        fn into_par_iter(self) -> Self::Iter {
+            crate::vec::IntoIter { vec: self }
+        }
+    }
+
+    macro_rules! range_into_par_iter {
+        ($($t:ty),*) => {$(
+            impl IntoParallelIterator for std::ops::Range<$t> {
+                type Iter = crate::range::Iter<$t>;
+                type Item = $t;
+                fn into_par_iter(self) -> Self::Iter {
+                    crate::range::Iter { range: self }
+                }
+            }
+        )*};
+    }
+    range_into_par_iter!(usize, u32, u64, i32, i64);
+
+    // ----- adaptor types --------------------------------------------------
+
+    /// See [`ParallelIterator::map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<P, F> {
+        base: P,
+        f: F,
+    }
+
+    impl<P, R, F> ParallelIterator for Map<P, F>
+    where
+        P: ParallelIterator,
+        R: Send,
+        F: Fn(P::Item) -> R + Clone + Send,
+    {
+        type Item = R;
+        type SeqIter = std::iter::Map<P::SeqIter, F>;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(index);
+            (
+                Map {
+                    base: l,
+                    f: self.f.clone(),
+                },
+                Map { base: r, f: self.f },
+            )
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.base.into_seq().map(self.f)
+        }
+
+        fn min_piece_len(&self) -> usize {
+            self.base.min_piece_len()
+        }
+    }
+
+    /// See [`ParallelIterator::zip`].
+    #[derive(Debug, Clone)]
+    pub struct Zip<A, B> {
+        a: A,
+        b: B,
+    }
+
+    impl<A, B> ParallelIterator for Zip<A, B>
+    where
+        A: ParallelIterator,
+        B: ParallelIterator,
+    {
+        type Item = (A::Item, B::Item);
+        type SeqIter = std::iter::Zip<A::SeqIter, B::SeqIter>;
+
+        fn len(&self) -> usize {
+            self.a.len().min(self.b.len())
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (al, ar) = self.a.split_at(index);
+            let (bl, br) = self.b.split_at(index);
+            (Zip { a: al, b: bl }, Zip { a: ar, b: br })
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.a.into_seq().zip(self.b.into_seq())
+        }
+
+        fn min_piece_len(&self) -> usize {
+            self.a.min_piece_len().max(self.b.min_piece_len())
+        }
+    }
+
+    /// See [`ParallelIterator::enumerate`].
+    #[derive(Debug, Clone)]
+    pub struct Enumerate<P> {
+        base: P,
+        offset: usize,
+    }
+
+    impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+        type Item = (usize, P::Item);
+        type SeqIter = std::iter::Zip<std::ops::Range<usize>, P::SeqIter>;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(index);
+            (
+                Enumerate {
+                    base: l,
+                    offset: self.offset,
+                },
+                Enumerate {
+                    base: r,
+                    offset: self.offset + index,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            let end = self.offset + self.base.len();
+            (self.offset..end).zip(self.base.into_seq())
+        }
+
+        fn min_piece_len(&self) -> usize {
+            self.base.min_piece_len()
+        }
+    }
+
+    /// See [`ParallelIterator::with_min_len`].
+    #[derive(Debug, Clone)]
+    pub struct MinLen<P> {
+        base: P,
+        min: usize,
+    }
+
+    impl<P: ParallelIterator> ParallelIterator for MinLen<P> {
+        type Item = P::Item;
+        type SeqIter = P::SeqIter;
+
+        fn len(&self) -> usize {
+            self.base.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (l, r) = self.base.split_at(index);
+            (
+                MinLen {
+                    base: l,
+                    min: self.min,
+                },
+                MinLen {
+                    base: r,
+                    min: self.min,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.base.into_seq()
+        }
+
+        fn min_piece_len(&self) -> usize {
+            self.base.min_piece_len().max(self.min)
+        }
+    }
+}
+
+/// Parallel iterators over ranges (`(a..b).into_par_iter()`).
+pub mod range {
+    use super::iter::ParallelIterator;
+
+    /// Parallel iterator over a primitive integer range.
+    #[derive(Debug, Clone)]
+    pub struct Iter<T> {
+        pub(crate) range: std::ops::Range<T>,
+    }
+
+    macro_rules! range_par_iter {
+        ($($t:ty),*) => {$(
+            impl ParallelIterator for Iter<$t> {
+                type Item = $t;
+                type SeqIter = std::ops::Range<$t>;
+
+                fn len(&self) -> usize {
+                    if self.range.end <= self.range.start {
+                        0
+                    } else {
+                        (self.range.end - self.range.start) as usize
+                    }
+                }
+
+                fn split_at(self, index: usize) -> (Self, Self) {
+                    let mid = self.range.start + index as $t;
+                    (
+                        Iter { range: self.range.start..mid },
+                        Iter { range: mid..self.range.end },
+                    )
+                }
+
+                fn into_seq(self) -> Self::SeqIter {
+                    self.range
+                }
+            }
+        )*};
+    }
+    range_par_iter!(usize, u32, u64, i32, i64);
+}
+
+/// Parallel iterators over owned vectors.
+pub mod vec {
+    use super::iter::ParallelIterator;
+
+    /// Parallel draining iterator over a `Vec`.
+    #[derive(Debug, Clone)]
+    pub struct IntoIter<T> {
+        pub(crate) vec: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for IntoIter<T> {
+        type Item = T;
+        type SeqIter = std::vec::IntoIter<T>;
+
+        fn len(&self) -> usize {
+            self.vec.len()
+        }
+
+        fn split_at(mut self, index: usize) -> (Self, Self) {
+            let tail = self.vec.split_off(index);
+            (self, IntoIter { vec: tail })
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.vec.into_iter()
+        }
+    }
+}
+
+/// Slice-level parallel views.
 pub mod slice {
-    /// Matches `rayon::slice::Chunks`; sequentially it *is* the std type.
-    pub type Chunks<'a, T> = std::slice::Chunks<'a, T>;
-    /// Matches `rayon::slice::ChunksMut`.
-    pub type ChunksMut<'a, T> = std::slice::ChunksMut<'a, T>;
+    use super::iter::ParallelIterator;
+
     /// Matches `rayon::slice::Iter`.
-    pub type Iter<'a, T> = std::slice::Iter<'a, T>;
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        slice: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParallelIterator for Iter<'a, T> {
+        type Item = &'a T;
+        type SeqIter = std::slice::Iter<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (l, r) = self.slice.split_at(index);
+            (Iter { slice: l }, Iter { slice: r })
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.slice.iter()
+        }
+    }
+
     /// Matches `rayon::slice::IterMut`.
-    pub type IterMut<'a, T> = std::slice::IterMut<'a, T>;
+    #[derive(Debug)]
+    pub struct IterMut<'a, T> {
+        slice: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParallelIterator for IterMut<'a, T> {
+        type Item = &'a mut T;
+        type SeqIter = std::slice::IterMut<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len()
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let (l, r) = self.slice.split_at_mut(index);
+            (IterMut { slice: l }, IterMut { slice: r })
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.slice.iter_mut()
+        }
+    }
+
+    /// Matches `rayon::slice::Chunks`.
+    #[derive(Debug)]
+    pub struct Chunks<'a, T> {
+        slice: &'a [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Sync> ParallelIterator for Chunks<'a, T> {
+        type Item = &'a [T];
+        type SeqIter = std::slice::Chunks<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk_size)
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let elems = (index * self.chunk_size).min(self.slice.len());
+            let (l, r) = self.slice.split_at(elems);
+            (
+                Chunks {
+                    slice: l,
+                    chunk_size: self.chunk_size,
+                },
+                Chunks {
+                    slice: r,
+                    chunk_size: self.chunk_size,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.slice.chunks(self.chunk_size)
+        }
+    }
+
+    /// Matches `rayon::slice::ChunksMut`.
+    #[derive(Debug)]
+    pub struct ChunksMut<'a, T> {
+        slice: &'a mut [T],
+        chunk_size: usize,
+    }
+
+    impl<'a, T: Send> ParallelIterator for ChunksMut<'a, T> {
+        type Item = &'a mut [T];
+        type SeqIter = std::slice::ChunksMut<'a, T>;
+
+        fn len(&self) -> usize {
+            self.slice.len().div_ceil(self.chunk_size)
+        }
+
+        fn split_at(self, index: usize) -> (Self, Self) {
+            let elems = (index * self.chunk_size).min(self.slice.len());
+            let (l, r) = self.slice.split_at_mut(elems);
+            (
+                ChunksMut {
+                    slice: l,
+                    chunk_size: self.chunk_size,
+                },
+                ChunksMut {
+                    slice: r,
+                    chunk_size: self.chunk_size,
+                },
+            )
+        }
+
+        fn into_seq(self) -> Self::SeqIter {
+            self.slice.chunks_mut(self.chunk_size)
+        }
+    }
 
     /// `par_iter`/`par_chunks` on shared slices.
-    pub trait ParallelSlice<T> {
-        /// Per-element iterator.
+    pub trait ParallelSlice<T: Sync> {
+        /// Per-element parallel iterator.
         fn par_iter(&self) -> Iter<'_, T>;
-        /// Fixed-size chunk iterator.
+        /// Fixed-size chunk parallel iterator (`chunk_size > 0`).
         fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T>;
     }
 
-    impl<T> ParallelSlice<T> for [T] {
+    impl<T: Sync> ParallelSlice<T> for [T] {
         fn par_iter(&self) -> Iter<'_, T> {
-            self.iter()
+            Iter { slice: self }
         }
+
         fn par_chunks(&self, chunk_size: usize) -> Chunks<'_, T> {
-            self.chunks(chunk_size)
+            assert!(chunk_size > 0, "chunk size must be positive");
+            Chunks {
+                slice: self,
+                chunk_size,
+            }
         }
     }
 
     /// `par_iter_mut`/`par_chunks_mut` on mutable slices.
-    pub trait ParallelSliceMut<T> {
-        /// Per-element mutable iterator.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Per-element mutable parallel iterator.
         fn par_iter_mut(&mut self) -> IterMut<'_, T>;
-        /// Fixed-size mutable chunk iterator.
+        /// Fixed-size mutable chunk parallel iterator (`chunk_size > 0`).
         fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
+    impl<T: Send> ParallelSliceMut<T> for [T] {
         fn par_iter_mut(&mut self) -> IterMut<'_, T> {
-            self.iter_mut()
+            IterMut { slice: self }
         }
+
         fn par_chunks_mut(&mut self, chunk_size: usize) -> ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+            assert!(chunk_size > 0, "chunk size must be positive");
+            ChunksMut {
+                slice: self,
+                chunk_size,
+            }
         }
     }
 }
 
 /// Everything call sites import with `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, ParallelIterator};
+    pub use crate::iter::{FromParallelIterator, IntoParallelIterator, ParallelIterator};
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }
+
+// ---------------------------------------------------------------------------
+// Thread pools.
 
 /// Error from [`ThreadPoolBuilder::build`]; never produced by the shim.
 #[derive(Debug)]
@@ -142,51 +849,63 @@ pub struct ThreadPoolBuildError;
 
 impl std::fmt::Display for ThreadPoolBuildError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error (unreachable in sequential shim)")
+        f.write_str("thread pool build error (unreachable in this shim)")
     }
 }
 
 impl std::error::Error for ThreadPoolBuildError {}
 
-/// Builder matching `rayon::ThreadPoolBuilder`; all settings are recorded
-/// but ignored, since work runs on the calling thread.
+/// Builder matching `rayon::ThreadPoolBuilder`.
 #[derive(Debug, Default)]
 pub struct ThreadPoolBuilder {
     num_threads: usize,
 }
 
 impl ThreadPoolBuilder {
-    /// New builder with default (ignored) settings.
+    /// New builder with default settings.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Requests a thread count; `0` means "all cores" in real rayon.
+    /// Requests a thread count; `0` (the default) means "use the process
+    /// default" — `BLAZR_NUM_THREADS` if set, else all cores.
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
         self
     }
 
-    /// Builds the (degenerate, current-thread) pool.
+    /// Builds the pool, resolving the team size now.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool {
-            _num_threads: self.num_threads,
-        })
+        let n = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
     }
 }
 
-/// A "pool" that executes closures on the calling thread.
+/// A scoped team-size override. Threads are not held persistently: every
+/// parallel consumer inside [`ThreadPool::install`] spawns a scoped team
+/// of this pool's size.
 #[derive(Debug)]
 pub struct ThreadPool {
-    _num_threads: usize,
+    num_threads: usize,
 }
 
 impl ThreadPool {
-    /// Runs `op` inside the pool — sequentially, right here.
+    /// The team size this pool installs.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with this pool's thread count governing every parallel
+    /// consumer it calls (restored afterwards, panic-safe).
     pub fn install<OP, R>(&self, op: OP) -> R
     where
         OP: FnOnce() -> R,
     {
+        let _guard = CellRestore::set(&INSTALLED_THREADS, Some(self.num_threads));
         op()
     }
 }
@@ -194,43 +913,198 @@ impl ThreadPool {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
 
-    #[test]
-    fn par_iter_matches_iter() {
-        let v = [1, 2, 3, 4];
-        let s: i32 = v.par_iter().map(|&x| x * 2).sum();
-        assert_eq!(s, 20);
+    fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+        super::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .unwrap()
+            .install(op)
     }
 
     #[test]
-    fn for_each_init_threads_scratch() {
-        let mut out = vec![0usize; 6];
-        out.par_chunks_mut(2).enumerate().for_each_init(
-            || 10usize,
-            |scratch, (i, chunk)| {
-                *scratch += 1;
-                for c in chunk {
-                    *c = *scratch * 100 + i;
-                }
-            },
-        );
-        assert_eq!(out, vec![1100, 1100, 1201, 1201, 1302, 1302]);
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 4, 8] {
+            let out: Vec<u64> = with_threads(threads, || v.par_iter().map(|&x| x * 2).collect());
+            assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+        }
     }
 
     #[test]
-    fn pool_installs_on_calling_thread() {
-        let pool = super::ThreadPoolBuilder::new()
-            .num_threads(4)
+    fn work_actually_crosses_threads() {
+        // With a multi-thread install, pieces should be executed by more
+        // than one OS thread (the pieces outnumber the team, and every
+        // worker records its id).
+        let ids = Mutex::new(HashSet::new());
+        with_threads(4, || {
+            (0..64usize).into_par_iter().for_each(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            });
+        });
+        let seen = ids.lock().unwrap().len();
+        assert!(seen > 1, "expected multiple worker threads, saw {seen}");
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // The determinism contract: piece shape depends on length only,
+        // partials combine in piece order.
+        let v: Vec<f64> = (0..10_007).map(|i| (i as f64).sin() * 1e-3).collect();
+        let reference: f64 = with_threads(1, || v.par_iter().map(|&x| x * x).sum());
+        for threads in [2, 3, 4, 8] {
+            let s: f64 = with_threads(threads, || v.par_iter().map(|&x| x * x).sum());
+            assert_eq!(s.to_bits(), reference.to_bits(), "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn reduce_is_deterministic_and_correct() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let a = with_threads(1, || v.par_iter().map(|&x| x).reduce(|| 0.0, |x, y| x + y));
+        let b = with_threads(8, || v.par_iter().map(|&x| x).reduce(|| 0.0, |x, y| x + y));
+        assert_eq!(a.to_bits(), b.to_bits());
+        assert_eq!(a, 5050.0);
+    }
+
+    #[test]
+    fn for_each_init_scratch_is_per_piece() {
+        // Scratch values must never be shared across pieces: seed each
+        // piece's scratch from its first item and check every item in the
+        // piece agrees (pieces are contiguous ranges).
+        let mut out = vec![0usize; 200];
+        with_threads(4, || {
+            out.par_iter_mut().enumerate().for_each_init(
+                || usize::MAX,
+                |first_idx, (i, slot)| {
+                    if *first_idx == usize::MAX {
+                        *first_idx = i;
+                    }
+                    *slot = *first_idx;
+                },
+            );
+        });
+        // Every slot records the first index of its piece; pieces are
+        // contiguous, so values are nondecreasing and ≤ the index.
+        for (i, &v) in out.iter().enumerate() {
+            assert!(v <= i);
+        }
+        assert!(out.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn zip_and_enumerate_line_up() {
+        let a = [10u64, 20, 30, 40, 50];
+        let mut b = [0u64; 5];
+        with_threads(4, || {
+            b.par_iter_mut()
+                .zip(a.par_iter())
+                .enumerate()
+                .for_each(|(i, (dst, &src))| *dst = src + i as u64);
+        });
+        assert_eq!(b, [10, 21, 32, 43, 54]);
+    }
+
+    #[test]
+    fn par_chunks_mut_covers_exact_and_ragged_lengths() {
+        for len in [0usize, 1, 7, 8, 9, 64, 65, 1000] {
+            let mut data = vec![0u32; len];
+            with_threads(3, || {
+                data.par_chunks_mut(8)
+                    .enumerate()
+                    .for_each(|(k, chunk)| chunk.fill(k as u32 + 1));
+            });
+            for (i, &v) in data.iter().enumerate() {
+                assert_eq!(v, (i / 8) as u32 + 1, "len {len} index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        // A parallel call inside a worker must not spawn its own team;
+        // it should still produce correct results.
+        let out: Vec<u64> = with_threads(4, || {
+            (0..8u64)
+                .into_par_iter()
+                .map(|i| (0..100u64).into_par_iter().map(|j| i * 100 + j).sum())
+                .collect()
+        });
+        let expect: Vec<u64> = (0..8u64)
+            .map(|i| (0..100).map(|j| i * 100 + j).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn with_min_len_bounds_piece_shape() {
+        assert_eq!(super::engine::piece_count(1000, 1), 64);
+        assert_eq!(super::engine::piece_count(1000, 500), 2);
+        assert_eq!(super::engine::piece_count(1000, 2000), 1);
+        assert_eq!(super::engine::piece_count(10, 1), 10);
+        assert_eq!(super::engine::piece_count(0, 1), 1);
+        // Piece shape never depends on thread count: same inputs, same
+        // answer, whatever pool is installed.
+        with_threads(7, || {
+            assert_eq!(super::engine::piece_count(1000, 1), 64);
+        });
+    }
+
+    #[test]
+    fn install_restores_previous_count_and_nests() {
+        let outer = super::ThreadPoolBuilder::new()
+            .num_threads(2)
             .build()
             .unwrap();
-        assert_eq!(pool.install(|| 21 * 2), 42);
+        let inner = super::ThreadPoolBuilder::new()
+            .num_threads(5)
+            .build()
+            .unwrap();
+        outer.install(|| {
+            assert_eq!(super::current_num_threads(), 2);
+            inner.install(|| assert_eq!(super::current_num_threads(), 5));
+            assert_eq!(super::current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn builder_zero_means_process_default() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build()
+            .unwrap();
+        assert_eq!(pool.current_num_threads(), super::default_num_threads());
     }
 
     #[test]
     fn into_par_iter_on_range_and_vec() {
-        let a: Vec<usize> = (0..5usize).into_par_iter().collect();
+        let a: Vec<usize> = with_threads(4, || (0..5usize).into_par_iter().collect());
         assert_eq!(a, vec![0, 1, 2, 3, 4]);
-        let b: usize = vec![1usize, 2, 3].into_par_iter().sum();
+        let b: usize = with_threads(4, || vec![1usize, 2, 3].into_par_iter().sum());
         assert_eq!(b, 6);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let empty: Vec<f64> = Vec::new();
+        let s: f64 = empty.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0.0);
+        let collected: Vec<f64> = Vec::<f64>::new().into_par_iter().collect();
+        assert!(collected.is_empty());
+    }
+
+    #[test]
+    fn panics_in_workers_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                (0..64usize)
+                    .into_par_iter()
+                    .for_each(|i| assert!(i != 40, "boom"));
+            });
+        });
+        assert!(result.is_err());
     }
 }

@@ -1,0 +1,154 @@
+//! Concurrency safety of the compressed representation: compile-time
+//! `Send`/`Sync` guarantees, plus a shared read-path stress test — many
+//! threads running compressed-space operations against the *same*
+//! `CompressedArray` concurrently, each checking its results against
+//! uncompressed references computed up front.
+
+use std::sync::Arc;
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_precision::{BF16, F16};
+use blazr_tensor::{blocking::Blocked, reduce, NdArray};
+use blazr_util::rng::Xoshiro256pp;
+
+fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
+
+#[test]
+fn core_types_are_send_and_sync() {
+    assert_send::<CompressedArray<f64, i16>>();
+    assert_sync::<CompressedArray<f64, i16>>();
+    assert_send::<CompressedArray<f32, i8>>();
+    assert_sync::<CompressedArray<f32, i8>>();
+    assert_send::<CompressedArray<F16, i32>>();
+    assert_sync::<CompressedArray<F16, i32>>();
+    assert_send::<CompressedArray<BF16, i64>>();
+    assert_sync::<CompressedArray<BF16, i64>>();
+    assert_send::<NdArray<f64>>();
+    assert_sync::<NdArray<f64>>();
+    assert_send::<Blocked<f32>>();
+    assert_sync::<Blocked<f32>>();
+    assert_send::<Settings>();
+    assert_sync::<Settings>();
+}
+
+fn random_array(shape: &[usize], seed: u64) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    NdArray::from_fn(shape.to_vec(), |_| rng.uniform_in(-1.0, 1.0))
+}
+
+#[test]
+fn shared_array_survives_concurrent_reads() {
+    // One pair of compressed arrays, shared read-only by every thread.
+    let a = random_array(&[48, 48], 1);
+    let b = random_array(&[48, 48], 2);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let ca = Arc::new(compress::<f64, i16>(&a, &settings).unwrap());
+    let cb = Arc::new(compress::<f64, i16>(&b, &settings).unwrap());
+
+    // Reference results, computed before any concurrency.
+    let ref_dot = ca.dot(&cb).unwrap();
+    let ref_mean = ca.mean().unwrap();
+    let ref_norm = ca.l2_norm();
+    let ref_var = ca.variance().unwrap();
+    let ref_wass = ca.wasserstein(&cb, 2.0).unwrap();
+    let ref_sum = ca.add(&cb).unwrap();
+    let ref_bytes = ca.to_bytes();
+    let ref_dec: Vec<u64> = ca
+        .decompress()
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let ref_uncompressed_dot = reduce::dot(&a, &b);
+
+    // Each worker runs its own multi-threaded pool, so pools from
+    // different workers overlap: ops-inside-ops across OS threads all
+    // reading the same compressed payloads.
+    std::thread::scope(|s| {
+        for worker in 0..8usize {
+            let ca = Arc::clone(&ca);
+            let cb = Arc::clone(&cb);
+            let ref_sum = &ref_sum;
+            let ref_bytes = &ref_bytes;
+            let ref_dec = &ref_dec;
+            s.spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1 + worker % 4)
+                    .build()
+                    .unwrap();
+                pool.install(|| {
+                    for _round in 0..4 {
+                        let dot = ca.dot(&cb).unwrap();
+                        assert_eq!(dot.to_bits(), ref_dot.to_bits());
+                        // Sanity: still agrees with the uncompressed dot.
+                        assert!((dot - ref_uncompressed_dot).abs() < 0.1);
+                        assert_eq!(ca.mean().unwrap().to_bits(), ref_mean.to_bits());
+                        assert_eq!(ca.l2_norm().to_bits(), ref_norm.to_bits());
+                        assert_eq!(ca.variance().unwrap().to_bits(), ref_var.to_bits());
+                        assert_eq!(
+                            ca.wasserstein(&cb, 2.0).unwrap().to_bits(),
+                            ref_wass.to_bits()
+                        );
+                        assert_eq!(&ca.add(&cb).unwrap(), ref_sum);
+                        assert_eq!(&ca.to_bytes(), ref_bytes);
+                        let dec: Vec<u64> = ca
+                            .decompress()
+                            .as_slice()
+                            .iter()
+                            .map(|x| x.to_bits())
+                            .collect();
+                        assert_eq!(&dec, ref_dec);
+                    }
+                });
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_compressions_are_independent() {
+    // Different threads compressing different inputs at different thread
+    // counts must not interfere: each output equals its solo-run twin.
+    let settings = Settings::new(vec![4, 4]).unwrap();
+    let inputs: Vec<NdArray<f64>> = (0..6).map(|i| random_array(&[30, 26], 100 + i)).collect();
+    let solo: Vec<Vec<u8>> = inputs
+        .iter()
+        .map(|a| compress::<f32, i16>(a, &settings).unwrap().to_bytes())
+        .collect();
+
+    std::thread::scope(|s| {
+        for (i, a) in inputs.iter().enumerate() {
+            let settings = &settings;
+            let expect = &solo[i];
+            s.spawn(move || {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1 + i % 3)
+                    .build()
+                    .unwrap();
+                for _ in 0..3 {
+                    let bytes =
+                        pool.install(|| compress::<f32, i16>(a, settings).unwrap().to_bytes());
+                    assert_eq!(&bytes, expect, "input {i}");
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn compressed_array_can_move_across_threads() {
+    // Move (not just share) a compressed array into another thread and
+    // round-trip it there.
+    let a = random_array(&[12, 20], 3);
+    let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+    let shape = c.shape().to_vec();
+    let handle = std::thread::spawn(move || {
+        let d = c.decompress();
+        (d.shape().to_vec(), c.to_bytes())
+    });
+    let (dshape, bytes) = handle.join().unwrap();
+    assert_eq!(dshape, shape);
+    let back = CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap();
+    assert_eq!(back.shape(), &shape[..]);
+}

@@ -1,0 +1,247 @@
+//! The parallelism determinism contract: every codec stage and every
+//! compressed-space operation must produce **bit-identical** output at any
+//! thread count.
+//!
+//! Fox et al.'s ZFP stability analysis warns that error bounds must be
+//! re-validated whenever the evaluation order of block operations changes
+//! — exactly what parallel chunking does. Our stronger guarantee makes
+//! that re-validation unnecessary: the rayon shim splits work into pieces
+//! whose shape depends only on the input length, and combines
+//! order-sensitive partial results in piece order, so changing the thread
+//! count changes *scheduling* but never *arithmetic*. These tests lock
+//! that contract in for compress, decompress, serialize, add, dot, mean,
+//! variance, and Wasserstein, on shapes that are and are not multiples of
+//! the block size.
+
+use blazr::{compress, CompressedArray, Settings};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+
+/// Thread counts every case runs at; 1 is the sequential reference.
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+fn random_array(shape: &[usize], seed: u64) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    NdArray::from_fn(shape.to_vec(), |_| rng.uniform_in(-1.0, 1.0))
+}
+
+/// Shapes covering: block multiples, non-multiples (padded tails), a
+/// single block, one element, many blocks (beyond the work-split piece
+/// cap), and 1-D/3-D layouts.
+fn shapes() -> Vec<(Vec<usize>, Vec<usize>)> {
+    vec![
+        (vec![16, 16], vec![4, 4]),     // exact multiple
+        (vec![18, 19], vec![4, 4]),     // padded in both dimensions
+        (vec![4, 4], vec![4, 4]),       // single block
+        (vec![1], vec![4]),             // single element, padded
+        (vec![257], vec![4]),           // 1-D straddling piece boundaries
+        (vec![64, 64], vec![4, 4]),     // 256 blocks ≫ piece cap
+        (vec![5, 6, 7], vec![2, 4, 4]), // 3-D, padded
+    ]
+}
+
+fn exact_bits(x: f64) -> u64 {
+    x.to_bits()
+}
+
+#[test]
+fn compressed_bytes_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 11);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let reference = with_threads(1, || {
+            compress::<f32, i16>(&a, &settings).unwrap().to_bytes()
+        });
+        for &threads in &THREAD_COUNTS[1..] {
+            let bytes = with_threads(threads, || {
+                compress::<f32, i16>(&a, &settings).unwrap().to_bytes()
+            });
+            assert_eq!(
+                bytes, reference,
+                "compress+serialize diverged at {threads} threads for shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn decompression_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 12);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let c = compress::<f32, i16>(&a, &settings).unwrap();
+        let reference: Vec<u64> = with_threads(1, || {
+            c.decompress()
+                .as_slice()
+                .iter()
+                .map(|&x| exact_bits(x))
+                .collect()
+        });
+        for &threads in &THREAD_COUNTS[1..] {
+            let got: Vec<u64> = with_threads(threads, || {
+                c.decompress()
+                    .as_slice()
+                    .iter()
+                    .map(|&x| exact_bits(x))
+                    .collect()
+            });
+            assert_eq!(
+                got, reference,
+                "decompress diverged at {threads} threads for shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn deserialization_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 13);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let bytes = compress::<f32, i16>(&a, &settings).unwrap().to_bytes();
+        let reference = with_threads(1, || {
+            CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap()
+        });
+        for &threads in &THREAD_COUNTS[1..] {
+            let got = with_threads(threads, || {
+                CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap()
+            });
+            assert_eq!(
+                got, reference,
+                "from_bytes diverged at {threads} threads for shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn add_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 14);
+        let b = random_array(&shape, 15);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let ca = compress::<f64, i16>(&a, &settings).unwrap();
+        let cb = compress::<f64, i16>(&b, &settings).unwrap();
+        let reference = with_threads(1, || ca.add(&cb).unwrap());
+        for &threads in &THREAD_COUNTS[1..] {
+            let got = with_threads(threads, || ca.add(&cb).unwrap());
+            assert_eq!(
+                got, reference,
+                "add diverged at {threads} threads for shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_reductions_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 16);
+        let b = random_array(&shape, 17);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let ca = compress::<f64, i16>(&a, &settings).unwrap();
+        let cb = compress::<f64, i16>(&b, &settings).unwrap();
+        let reference = with_threads(1, || {
+            (
+                exact_bits(ca.dot(&cb).unwrap()),
+                exact_bits(ca.mean().unwrap()),
+                exact_bits(ca.l2_norm()),
+                exact_bits(ca.variance().unwrap()),
+                exact_bits(ca.covariance(&cb).unwrap()),
+            )
+        });
+        for &threads in &THREAD_COUNTS[1..] {
+            let got = with_threads(threads, || {
+                (
+                    exact_bits(ca.dot(&cb).unwrap()),
+                    exact_bits(ca.mean().unwrap()),
+                    exact_bits(ca.l2_norm()),
+                    exact_bits(ca.variance().unwrap()),
+                    exact_bits(ca.covariance(&cb).unwrap()),
+                )
+            });
+            assert_eq!(
+                got, reference,
+                "a scalar reduction diverged at {threads} threads for shape {shape:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn wasserstein_identical_across_thread_counts() {
+    for (shape, bs) in shapes() {
+        let a = random_array(&shape, 18);
+        let b = random_array(&shape, 19);
+        let settings = Settings::new(bs.clone()).unwrap();
+        let ca = compress::<f64, i16>(&a, &settings).unwrap();
+        let cb = compress::<f64, i16>(&b, &settings).unwrap();
+        for p in [1.0, 2.0, 8.0] {
+            let reference = with_threads(1, || exact_bits(ca.wasserstein(&cb, p).unwrap()));
+            for &threads in &THREAD_COUNTS[1..] {
+                let got = with_threads(threads, || exact_bits(ca.wasserstein(&cb, p).unwrap()));
+                assert_eq!(
+                    got, reference,
+                    "wasserstein p={p} diverged at {threads} threads for shape {shape:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn end_to_end_pipeline_identical_across_thread_counts() {
+    // The whole paper pipeline in one go: compress both operands, add in
+    // compressed space, serialize, deserialize, decompress — every stage
+    // under the same pool, compared bit-for-bit against the 1-thread run.
+    let a = random_array(&[33, 31], 20);
+    let b = random_array(&[33, 31], 21);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let pipeline = || {
+        let ca = compress::<f32, i16>(&a, &settings).unwrap();
+        let cb = compress::<f32, i16>(&b, &settings).unwrap();
+        let sum = ca.add(&cb).unwrap();
+        let bytes = sum.to_bytes();
+        let back = CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap();
+        let d = back.decompress();
+        (
+            bytes,
+            d.as_slice()
+                .iter()
+                .map(|&x| exact_bits(x))
+                .collect::<Vec<u64>>(),
+        )
+    };
+    let reference = with_threads(1, pipeline);
+    for &threads in &THREAD_COUNTS[1..] {
+        let got = with_threads(threads, pipeline);
+        assert_eq!(got, reference, "pipeline diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn env_override_is_honored_for_explicit_pools_default() {
+    // `ThreadPoolBuilder::num_threads(0)` defers to the process default
+    // (BLAZR_NUM_THREADS or all cores) — whatever it resolves to, results
+    // must match the 1-thread reference. This is the configuration the CI
+    // matrix leg exercises with BLAZR_NUM_THREADS=1 vs default.
+    let a = random_array(&[37, 41], 22);
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let reference = with_threads(1, || {
+        compress::<f32, i16>(&a, &settings).unwrap().to_bytes()
+    });
+    let default_pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build()
+        .unwrap();
+    let got = default_pool.install(|| compress::<f32, i16>(&a, &settings).unwrap().to_bytes());
+    assert_eq!(got, reference);
+}

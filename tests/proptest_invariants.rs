@@ -27,6 +27,34 @@ fn block_shape() -> impl Strategy<Value = Vec<usize>> {
     ]
 }
 
+/// Strategy: 1-D arrays with lengths chosen to straddle the parallel
+/// work-split granularity. The rayon shim splits an n-item loop into at
+/// most 64 length-derived pieces, so interesting lengths (in *blocks*,
+/// with block shape `[4]`) sit around 1 (single block / piece), 63–65
+/// (where the piece count saturates and piece sizes become ragged), and
+/// around 128 (pieces of 2 with uneven remainders). Odd element counts
+/// additionally force a padded ("empty tail") final chunk.
+fn chunk_boundary_array() -> impl Strategy<Value = NdArray<f64>> {
+    prop_oneof![
+        1usize..10,    // sub-block and couple-of-blocks lengths
+        249usize..264, // 62..66 blocks: piece-count saturation boundary
+        505usize..522, // 126..131 blocks: ragged 2-block pieces
+    ]
+    .prop_flat_map(|len| {
+        proptest::collection::vec(-1.0f64..1.0, len)
+            .prop_map(move |v| NdArray::from_vec(vec![len], v))
+    })
+}
+
+/// Runs `op` under an explicitly sized thread pool.
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -154,5 +182,67 @@ proptest! {
         let s = Settings::new(vec![4, 4]).unwrap();
         let c = compress::<f64, i16>(&a, &s).unwrap();
         prop_assert!(c.variance().unwrap() >= -1e-12);
+    }
+
+    /// Chunk-boundary lengths: the full codec is bit-deterministic across
+    /// thread counts exactly at the lengths where parallel piece shapes
+    /// get ragged (single-block arrays, piece-cap saturation, padded
+    /// tails).
+    #[test]
+    fn parallel_codec_deterministic_at_chunk_boundaries(
+        a in chunk_boundary_array(),
+        threads in 2usize..9,
+    ) {
+        let s = Settings::new(vec![4]).unwrap();
+        let reference = with_threads(1, || {
+            let c = compress::<f64, i16>(&a, &s).unwrap();
+            (c.to_bytes(), c.decompress())
+        });
+        let parallel = with_threads(threads, || {
+            let c = compress::<f64, i16>(&a, &s).unwrap();
+            (c.to_bytes(), c.decompress())
+        });
+        prop_assert_eq!(&parallel.0, &reference.0,
+            "serialized bytes diverged at len {} threads {}", a.len(), threads);
+        let ref_bits: Vec<u64> = reference.1.as_slice().iter().map(|x| x.to_bits()).collect();
+        let par_bits: Vec<u64> = parallel.1.as_slice().iter().map(|x| x.to_bits()).collect();
+        prop_assert_eq!(par_bits, ref_bits,
+            "decompressed values diverged at len {} threads {}", a.len(), threads);
+    }
+
+    /// Chunk-boundary lengths: compressed-space add and the scalar
+    /// reductions are bit-deterministic across thread counts, and the
+    /// roundtrip error bound still holds when the work ran in parallel.
+    #[test]
+    fn parallel_ops_deterministic_at_chunk_boundaries(
+        a in chunk_boundary_array(),
+        seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let mut rng = blazr_util::rng::Xoshiro256pp::seed_from_u64(seed);
+        let b = NdArray::from_fn(a.shape().to_vec(), |_| rng.uniform_in(-1.0, 1.0));
+        let s = Settings::new(vec![4]).unwrap();
+        let ca = compress::<f64, i16>(&a, &s).unwrap();
+        let cb = compress::<f64, i16>(&b, &s).unwrap();
+        let reference = with_threads(1, || {
+            (ca.add(&cb).unwrap(), ca.dot(&cb).unwrap().to_bits(),
+             ca.mean().unwrap().to_bits(), ca.l2_norm().to_bits())
+        });
+        let parallel = with_threads(threads, || {
+            (ca.add(&cb).unwrap(), ca.dot(&cb).unwrap().to_bits(),
+             ca.mean().unwrap().to_bits(), ca.l2_norm().to_bits())
+        });
+        prop_assert_eq!(&parallel.0, &reference.0);
+        prop_assert_eq!(parallel.1, reference.1);
+        prop_assert_eq!(parallel.2, reference.2);
+        prop_assert_eq!(parallel.3, reference.3);
+        // The §IV-D error story survives the parallel path.
+        let (c, report) = with_threads(threads, || {
+            compress_with_report::<f64, i16>(&a, &s).unwrap()
+        });
+        let d = with_threads(threads, || c.decompress());
+        let err = blazr_util::stats::max_abs_diff(a.as_slice(), d.as_slice());
+        prop_assert!(err <= report.linf_bound() * (1.0 + 1e-9) + 1e-12,
+            "err {} bound {}", err, report.linf_bound());
     }
 }

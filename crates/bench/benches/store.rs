@@ -1,0 +1,100 @@
+//! Store benchmarks: ingest throughput, and what zone-map pruning buys a
+//! selective query over a full scan.
+//!
+//! The dataset is a value ramp across chunks (chunk `t` holds values near
+//! `t`), so a narrow `ValueInRange` predicate selects ~1 chunk and the
+//! zone maps can prune the rest from the footer alone — the pruned query
+//! should approach O(selected) while the full scan stays O(store).
+
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_store::{Aggregate, Predicate, Query, Store, StoreWriter};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::path::PathBuf;
+
+/// Chunks per store and rows/cols per chunk (block-aligned so zone maps
+/// stay tight; see `crates/store/tests/pruning.rs`).
+const CHUNKS: u64 = 16;
+const ROWS: usize = 64;
+const COLS: usize = 64;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("blazr-store-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn frames() -> Vec<(u64, NdArray<f64>)> {
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    (0..CHUNKS)
+        .map(|t| {
+            let f = NdArray::from_fn(vec![ROWS, COLS], |_| t as f64 + rng.uniform_in(-0.4, 0.4));
+            (t, f)
+        })
+        .collect()
+}
+
+fn write_store(path: &PathBuf, data: &[(u64, NdArray<f64>)]) {
+    let mut w = StoreWriter::create(
+        path,
+        Settings::new(vec![8, 8]).unwrap(),
+        ScalarType::F32,
+        IndexType::I16,
+    )
+    .unwrap();
+    for (label, frame) in data {
+        w.append(*label, frame).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let data = frames();
+    let elements = CHUNKS * (ROWS * COLS) as u64;
+    let mut g = c.benchmark_group(format!("store-ingest/{CHUNKS}x{ROWS}x{COLS}-f32-i16"));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(elements));
+    g.bench_function("ingest", |b| {
+        b.iter(|| write_store(&tmp("ingest.blzs"), &data))
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let path = tmp("query.blzs");
+    write_store(&path, &frames());
+    let store = Store::open(&path).unwrap();
+    let elements = CHUNKS * (ROWS * COLS) as u64;
+
+    // Selective predicate: only the chunks around value 8 can match.
+    let selective = Query {
+        from_label: 0,
+        to_label: u64::MAX,
+        predicate: Some(Predicate::ValueInRange { lo: 7.8, hi: 8.2 }),
+        aggregate: Aggregate::Mean,
+    };
+    assert!(
+        store.query(&selective).unwrap().chunks_pruned >= CHUNKS as usize / 2,
+        "ramp must let zone maps prune most chunks"
+    );
+    let unselective = Query::all(Aggregate::Variance);
+
+    let mut g = c.benchmark_group(format!("store-query/{CHUNKS}x{ROWS}x{COLS}-f32-i16"));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(elements));
+    g.bench_function("selective-pruned", |b| {
+        b.iter(|| store.query(&selective).unwrap())
+    });
+    g.bench_function("selective-full-scan", |b| {
+        b.iter(|| store.query_full_scan(&selective).unwrap())
+    });
+    g.bench_function("aggregate-all", |b| {
+        b.iter(|| store.query(&unselective).unwrap())
+    });
+    g.bench_function("open", |b| b.iter(|| Store::open(&path).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ingest, bench_query);
+criterion_main!(benches);

@@ -20,10 +20,19 @@ USAGE:
   blazr stats      <in.blz>
   blazr diff       <a.blz> <b.blz> [--wasserstein-p P]
   blazr tune       <in.f64> --shape DxHxW --target-linf EPS
+  blazr store ingest <in.f64> --shape DxHxW --chunk-rows R -o <out.blzs>
+                   [--block 8x8] [--float f32] [--index i16]
+  blazr store query  <store.blzs> [--from L] [--to L] [--min V] [--max V]
+                   [--mean-min V] [--mean-max V] [--agg mean] [--full-scan]
+  blazr store stat   <store.blzs>
   blazr help
 
 Raw files are flat little-endian float64. Compressed files use the paper's
-§IV-C bit layout and embed their own type/shape/mask metadata.";
+§IV-C bit layout and embed their own type/shape/mask metadata. Store files
+(.blzs) hold many compressed chunks behind a zone-map index: `ingest`
+splits the input along axis 0 into chunks of --chunk-rows rows (labeled by
+start row), `query` aggregates in compressed space with zone-map pruning,
+and `stat` prints the index without touching any chunk payload.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
@@ -37,6 +46,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "stats" => stats_cmd(rest),
         "diff" => diff_cmd(rest),
         "tune" => tune_cmd(rest),
+        "store" => store_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -206,6 +216,180 @@ fn tune_cmd(argv: &[String]) -> Result<(), String> {
     }
 }
 
+fn store_cmd(argv: &[String]) -> Result<(), String> {
+    let Some(sub) = argv.first() else {
+        return Err("store needs a subcommand: ingest, query, or stat".into());
+    };
+    let rest = &argv[1..];
+    match sub.as_str() {
+        "ingest" => store_ingest_cmd(rest),
+        "query" => store_query_cmd(rest),
+        "stat" => store_stat_cmd(rest),
+        other => Err(format!("unknown store subcommand {other:?}")),
+    }
+}
+
+fn store_ingest_cmd(argv: &[String]) -> Result<(), String> {
+    use blazr_store::StoreWriter;
+    let args = Args::parse(argv, &[])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store ingest needs an input file")?;
+    let shape = parse_shape(args.require("shape")?)?;
+    let out = args.require("output")?;
+    let chunk_rows: usize = args
+        .require("chunk-rows")?
+        .parse()
+        .map_err(|e| format!("bad --chunk-rows: {e}"))?;
+    if chunk_rows == 0 {
+        return Err("--chunk-rows must be positive".into());
+    }
+    let ft = match args.option("float") {
+        Some(f) => parse_float_type(f)?,
+        None => ScalarType::F32,
+    };
+    let it = match args.option("index") {
+        Some(i) => parse_index_type(i)?,
+        None => IndexType::I16,
+    };
+    let a = read_f64(Path::new(input), &shape)?;
+    let settings = build_settings(&args, shape.len())?;
+    let mut writer = StoreWriter::create(out, settings, ft, it).map_err(|e| e.to_string())?;
+    // Split along axis 0: chunk k covers rows [k·R, min((k+1)·R, D)) and
+    // is labeled by its start row. Rows are contiguous in row-major order.
+    let row_len: usize = shape[1..].iter().product();
+    let rows = shape[0];
+    let data = a.as_slice();
+    let mut start = 0usize;
+    while start < rows {
+        let end = (start + chunk_rows).min(rows);
+        let mut chunk_shape = shape.clone();
+        chunk_shape[0] = end - start;
+        let chunk = blazr_tensor::NdArray::from_vec(
+            chunk_shape,
+            data[start * row_len..end * row_len].to_vec(),
+        );
+        writer
+            .append(start as u64, &chunk)
+            .map_err(|e| e.to_string())?;
+        start = end;
+    }
+    let chunks = writer.len();
+    writer.finish().map_err(|e| e.to_string())?;
+    let bytes = std::fs::metadata(out)
+        .map_err(|e| format!("cannot stat {out}: {e}"))?
+        .len();
+    let raw = (rows * row_len * 8) as f64;
+    println!(
+        "{input} -> {out} ({chunks} chunks of ≤{chunk_rows} rows, {bytes} bytes, \
+         ratio {:.2}x vs f64, {} scales, {} indices)",
+        raw / bytes as f64,
+        ft.name(),
+        it.name()
+    );
+    Ok(())
+}
+
+fn store_query_cmd(argv: &[String]) -> Result<(), String> {
+    use blazr_store::{Aggregate, Predicate, Query, Store};
+    let args = Args::parse(argv, &["full-scan"])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store query needs a store file")?;
+    let parse_f64 = |name: &str| -> Result<Option<f64>, String> {
+        args.option(name)
+            .map(|v| v.parse().map_err(|e| format!("bad --{name}: {e}")))
+            .transpose()
+    };
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        Ok(match args.option(name) {
+            Some(v) => v.parse().map_err(|e| format!("bad --{name}: {e}"))?,
+            None => default,
+        })
+    };
+    let (vmin, vmax) = (parse_f64("min")?, parse_f64("max")?);
+    let (mmin, mmax) = (parse_f64("mean-min")?, parse_f64("mean-max")?);
+    let predicate = match (
+        vmin.is_some() || vmax.is_some(),
+        mmin.is_some() || mmax.is_some(),
+    ) {
+        (true, true) => {
+            return Err("give either --min/--max or --mean-min/--mean-max, not both".into())
+        }
+        (true, false) => Some(Predicate::ValueInRange {
+            lo: vmin.unwrap_or(f64::NEG_INFINITY),
+            hi: vmax.unwrap_or(f64::INFINITY),
+        }),
+        (false, true) => Some(Predicate::MeanInRange {
+            lo: mmin.unwrap_or(f64::NEG_INFINITY),
+            hi: mmax.unwrap_or(f64::INFINITY),
+        }),
+        (false, false) => None,
+    };
+    let q = Query {
+        from_label: parse_u64("from", 0)?,
+        to_label: parse_u64("to", u64::MAX)?,
+        predicate,
+        aggregate: Aggregate::parse(args.option("agg").unwrap_or("mean"))
+            .map_err(|e| e.to_string())?,
+    };
+    let store = Store::open(input).map_err(|e| e.to_string())?;
+    let r = if args.has_flag("full-scan") {
+        store.query_full_scan(&q)
+    } else {
+        store.query(&q)
+    }
+    .map_err(|e| e.to_string())?;
+    println!("aggregate      : {:?}", q.aggregate);
+    println!("value          : {:.9e}", r.value);
+    println!("error bound    : {:.3e}", r.error_bound);
+    println!("elements       : {}", r.stats.count);
+    println!(
+        "chunks         : {} in range, {} pruned by zone maps, {} scanned, {} matched",
+        r.chunks_in_range,
+        r.chunks_pruned,
+        r.chunks_scanned,
+        r.matched_labels.len()
+    );
+    println!("matched labels : {:?}", r.matched_labels);
+    Ok(())
+}
+
+fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
+    use blazr_store::Store;
+    let args = Args::parse(argv, &[])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store stat needs a store file")?;
+    let store = Store::open(input).map_err(|e| e.to_string())?;
+    println!("file           : {input}");
+    println!("chunks         : {}", store.len());
+    println!("file bytes     : {}", store.file_bytes());
+    println!("payload bytes  : {}", store.payload_bytes());
+    match store.chunk_types() {
+        Some((ft, it)) => println!("chunk types    : {} scales, {} indices", ft, it),
+        None => println!("chunk types    : (empty store)"),
+    }
+    if !store.is_empty() {
+        println!("label          min          max         mean      l2        ±linf");
+        for e in store.entries() {
+            println!(
+                "{:>5}  {:>11.4e}  {:>11.4e}  {:>11.4e}  {:>8.3e}  {:>8.2e}",
+                e.label,
+                e.zone.stats.min_bound,
+                e.zone.stats.max_bound,
+                e.zone.mean(),
+                e.zone.stats.l2_norm(),
+                e.zone.bounds.linf
+            );
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -312,6 +496,132 @@ mod tests {
         assert!(run(&sv(&["diff", "only-one.blz"])).is_err());
         assert!(run(&[]).is_err());
         assert!(run(&sv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn store_cli_pipeline() {
+        // ingest → stat → query (pruned and full scan agree; the range
+        // predicate prunes at least one chunk of the row ramp).
+        let raw = tmp("series.f64");
+        let blzs = tmp("series.blzs");
+        // 64 rows ramping 0..64 by row: chunks of 16 rows span disjoint
+        // value ranges, so a [40, 50] predicate keeps only chunk 2 (rows
+        // 32..48) and its neighbors' zone maps prune the rest.
+        let a = NdArray::from_fn(vec![64, 16], |i| i[0] as f64 + (i[1] as f64) * 0.01);
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "64x16",
+            "--chunk-rows",
+            "16",
+            "--block",
+            "8x8",
+            "-o",
+            blzs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&["store", "stat", blzs.to_str().unwrap()])).unwrap();
+        run(&sv(&[
+            "store",
+            "query",
+            blzs.to_str().unwrap(),
+            "--min",
+            "40",
+            "--max",
+            "50",
+            "--agg",
+            "mean",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "store",
+            "query",
+            blzs.to_str().unwrap(),
+            "--from",
+            "16",
+            "--to",
+            "47",
+            "--agg",
+            "sum",
+            "--full-scan",
+        ]))
+        .unwrap();
+
+        // The library-level views agree with what the CLI just did.
+        let store = blazr_store::Store::open(&blzs).unwrap();
+        assert_eq!(store.len(), 4);
+        assert_eq!(store.labels(), vec![0, 16, 32, 48]);
+        let q = blazr_store::Query {
+            from_label: 0,
+            to_label: u64::MAX,
+            predicate: Some(blazr_store::Predicate::ValueInRange { lo: 40.0, hi: 50.0 }),
+            aggregate: blazr_store::Aggregate::Mean,
+        };
+        let pruned = store.query(&q).unwrap();
+        let full = store.query_full_scan(&q).unwrap();
+        assert!(pruned.chunks_pruned >= 1);
+        assert_eq!(pruned.value.to_bits(), full.value.to_bits());
+        assert_eq!(pruned.matched_labels, full.matched_labels);
+    }
+
+    #[test]
+    fn store_cli_errors_are_reported() {
+        assert!(run(&sv(&["store"])).is_err());
+        assert!(run(&sv(&["store", "frobnicate"])).is_err());
+        assert!(run(&sv(&["store", "ingest"])).is_err());
+        assert!(run(&sv(&["store", "query", "/no/such/file.blzs"])).is_err());
+        let raw = tmp("tiny.f64");
+        write_f64(&raw, &NdArray::from_fn(vec![4, 4], |_| 1.0)).unwrap();
+        // Zero chunk rows rejected.
+        assert!(run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "4x4",
+            "--chunk-rows",
+            "0",
+            "-o",
+            tmp("bad.blzs").to_str().unwrap(),
+        ]))
+        .is_err());
+        // Conflicting predicate families rejected.
+        let blzs = tmp("tiny.blzs");
+        run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "4x4",
+            "--chunk-rows",
+            "4",
+            "--block",
+            "4x4",
+            "-o",
+            blzs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "store",
+            "query",
+            blzs.to_str().unwrap(),
+            "--min",
+            "0",
+            "--mean-min",
+            "0",
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "store",
+            "query",
+            blzs.to_str().unwrap(),
+            "--agg",
+            "median",
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -29,6 +29,9 @@ pub enum BlazError {
     /// The serialized stream is malformed or was produced with different
     /// type parameters.
     Deserialize(String),
+    /// A caller-supplied argument was rejected (out-of-order label,
+    /// empty selection, invalid parameter value, …).
+    InvalidArgument(String),
 }
 
 impl fmt::Display for BlazError {
@@ -48,6 +51,7 @@ impl fmt::Display for BlazError {
             BlazError::InvalidBlockShape(msg) => write!(f, "invalid block shape: {msg}"),
             BlazError::EmptyMask => write!(f, "pruning mask keeps no coefficients"),
             BlazError::Deserialize(msg) => write!(f, "deserialization failed: {msg}"),
+            BlazError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
 }
@@ -69,5 +73,8 @@ mod tests {
         assert!(BlazError::Deserialize("bad tag".into())
             .to_string()
             .contains("bad tag"));
+        assert!(BlazError::InvalidArgument("label 3 after 5".into())
+            .to_string()
+            .contains("label 3 after 5"));
     }
 }

@@ -29,8 +29,10 @@
 
 mod arithmetic;
 mod moments;
+pub mod partials;
 mod reductions;
 mod similarity;
 mod wasserstein;
 
+pub use partials::{ChunkStats, ErrorBounds};
 pub use similarity::SsimParams;

@@ -28,6 +28,19 @@ use rayon::prelude::*;
 /// Sentinel terminating the shape list. Valid extents are far smaller.
 const SHAPE_END: u64 = u64::MAX;
 
+/// Reads the leading float/index type tags of a §IV-C stream without
+/// decoding it (`None` for an empty stream or invalid tags). This is the
+/// single owner of the prologue's bit positions — callers that need to
+/// sniff a stream's types (dynamic dispatch, store diagnostics) go
+/// through here rather than re-deriving the layout.
+pub fn peek_types(bytes: &[u8]) -> Option<(crate::ScalarType, crate::IndexType)> {
+    let b = *bytes.first()?;
+    Some((
+        crate::ScalarType::from_tag(b >> 6)?,
+        crate::IndexType::from_tag((b >> 4) & 0b11)?,
+    ))
+}
+
 /// Blocks per parallel piece when encoding/decoding the payload. The
 /// payload's fields are fixed-width, so any block range has a computable
 /// bit offset and pieces can be processed independently; the spliced
@@ -346,6 +359,17 @@ mod tests {
     fn garbage_rejected() {
         let garbage = vec![0xFFu8; 64];
         assert!(CompressedArray::<f32, i16>::from_bytes(&garbage).is_err());
+    }
+
+    #[test]
+    fn peek_types_reads_the_prologue() {
+        let a = random_array(vec![8, 8], 9);
+        let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4]).unwrap()).unwrap();
+        assert_eq!(
+            crate::serialize::peek_types(&c.to_bytes()),
+            Some((crate::ScalarType::F32, crate::IndexType::I16))
+        );
+        assert_eq!(crate::serialize::peek_types(&[]), None);
     }
 
     #[test]

@@ -35,7 +35,7 @@ impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
     pub fn push(&mut self, label: u64, frame: &NdArray<f64>) -> Result<(), BlazError> {
         if let Some(&last) = self.labels.last() {
             if label <= last {
-                return Err(BlazError::Deserialize(format!(
+                return Err(BlazError::InvalidArgument(format!(
                     "labels must increase: {label} after {last}"
                 )));
             }
@@ -47,6 +47,50 @@ impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
         self.labels.push(label);
         self.frames.push(c);
         Ok(())
+    }
+
+    /// Rebuilds a series from already-compressed frames (the inverse of
+    /// iterating [`CompressedSeries::frame`] — what a persistent store
+    /// does when loading a series from disk). Labels must be strictly
+    /// increasing and every frame must share shape and `settings`.
+    pub fn from_parts(
+        settings: Settings,
+        labels: Vec<u64>,
+        frames: Vec<CompressedArray<P, I>>,
+    ) -> Result<Self, BlazError> {
+        if labels.len() != frames.len() {
+            return Err(BlazError::InvalidArgument(format!(
+                "{} labels for {} frames",
+                labels.len(),
+                frames.len()
+            )));
+        }
+        if let Some(w) = labels.windows(2).find(|w| w[1] <= w[0]) {
+            return Err(BlazError::InvalidArgument(format!(
+                "labels must increase: {} after {}",
+                w[1], w[0]
+            )));
+        }
+        for f in &frames {
+            if *f.settings() != settings {
+                return Err(BlazError::SettingsMismatch);
+            }
+        }
+        if let Some(first) = frames.first() {
+            for f in &frames[1..] {
+                first.check_compatible(f)?;
+            }
+        }
+        Ok(Self {
+            settings,
+            labels,
+            frames,
+        })
+    }
+
+    /// The settings every frame was compressed with.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
     }
 
     /// Number of stored snapshots.
@@ -93,11 +137,13 @@ impl<P: Real, I: BinIndex> CompressedSeries<P, I> {
     }
 
     /// The adjacent pair with the largest L2 jump (event detection).
+    /// A NaN distance (NaN in the data) ranks above every finite jump —
+    /// surfaced, not panicked on.
     pub fn largest_jump(&self) -> Result<Option<(u64, u64, f64)>, BlazError> {
         Ok(self
             .adjacent_l2()?
             .into_iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances")))
+            .max_by(|a, b| a.2.total_cmp(&b.2)))
     }
 
     /// First label at which this series deviates from `other` by more
@@ -164,9 +210,47 @@ mod tests {
     fn labels_must_increase() {
         let mut s = CompressedSeries::<f32, i16>::new(Settings::new(vec![4, 4]).unwrap());
         s.push(5, &frame(0.0, false)).unwrap();
-        assert!(s.push(5, &frame(0.1, false)).is_err());
-        assert!(s.push(4, &frame(0.1, false)).is_err());
+        assert!(matches!(
+            s.push(5, &frame(0.1, false)),
+            Err(BlazError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            s.push(4, &frame(0.1, false)),
+            Err(BlazError::InvalidArgument(_))
+        ));
         assert!(s.push(6, &frame(0.1, false)).is_ok());
+    }
+
+    #[test]
+    fn from_parts_roundtrips_and_validates() {
+        let s = series_with_event();
+        let settings = s.settings().clone();
+        let labels = s.labels().to_vec();
+        let frames: Vec<_> = (0..s.len()).map(|i| s.frame(i).clone()).collect();
+        let rebuilt =
+            CompressedSeries::from_parts(settings.clone(), labels.clone(), frames.clone()).unwrap();
+        assert_eq!(rebuilt.len(), s.len());
+        assert_eq!(rebuilt.labels(), s.labels());
+        assert_eq!(
+            rebuilt.largest_jump().unwrap().unwrap(),
+            s.largest_jump().unwrap().unwrap()
+        );
+        // Count mismatch, non-increasing labels, and foreign settings all
+        // reject with InvalidArgument / SettingsMismatch.
+        assert!(matches!(
+            CompressedSeries::from_parts(settings.clone(), labels[..3].to_vec(), frames.clone()),
+            Err(BlazError::InvalidArgument(_))
+        ));
+        let mut bad = labels.clone();
+        bad.swap(0, 1);
+        assert!(matches!(
+            CompressedSeries::from_parts(settings, bad, frames.clone()),
+            Err(BlazError::InvalidArgument(_))
+        ));
+        assert!(matches!(
+            CompressedSeries::from_parts(Settings::new(vec![8, 8]).unwrap(), labels, frames),
+            Err(BlazError::SettingsMismatch)
+        ));
     }
 
     #[test]

@@ -162,7 +162,7 @@ pub fn tune_for_linf_default(
     target_linf: f64,
 ) -> Result<TuneResult, BlazError> {
     tune_for_linf(sample, target_linf, &TuneOptions::default()).ok_or_else(|| {
-        BlazError::InvalidBlockShape(format!(
+        BlazError::InvalidArgument(format!(
             "no setting in the default lattice meets L∞ ≤ {target_linf}"
         ))
     })

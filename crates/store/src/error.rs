@@ -1,0 +1,59 @@
+//! Error type for the chunked store.
+
+use blazr::BlazError;
+use std::fmt;
+
+/// Everything that can go wrong creating, reading, or querying a store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io(String),
+    /// The file is not a store, is truncated, or fails its checksum.
+    Corrupt(String),
+    /// A caller-supplied argument was rejected (out-of-order label,
+    /// mismatched settings, empty query range, …).
+    InvalidArgument(String),
+    /// A codec-level operation on a chunk failed.
+    Blaz(BlazError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
+            StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Blaz(e) => write!(f, "codec error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<BlazError> for StoreError {
+    fn from(e: BlazError) -> Self {
+        StoreError::Blaz(e)
+    }
+}
+
+/// Attaches a path context to an `io::Error`.
+pub(crate) fn io_err(what: &str, path: &std::path::Path, e: std::io::Error) -> StoreError {
+    StoreError::Io(format!("cannot {what} {}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(StoreError::Corrupt("bad trailer".into())
+            .to_string()
+            .contains("bad trailer"));
+        assert!(StoreError::InvalidArgument("label 3 after 5".into())
+            .to_string()
+            .contains("label 3"));
+        let wrapped = StoreError::from(BlazError::SettingsMismatch);
+        assert!(wrapped.to_string().contains("settings"));
+    }
+}

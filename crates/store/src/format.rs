@@ -1,0 +1,277 @@
+//! The single-file on-disk format.
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ "BLZSTOR1"                               header magic, 8 B   │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ chunk 0 payload          §IV-C stream (core::serialize)      │
+//! │ chunk 1 payload                                              │
+//! │ …                                                            │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ footer:                                                      │
+//! │   u64 chunk_count                                            │
+//! │   per chunk (88 B):                                          │
+//! │     u64 label │ u64 offset │ u64 len │ u64 fnv1a64(payload)  │
+//! │     u64 count │ f64 sum │ f64 sum_sq                         │
+//! │     f64 min_bound │ f64 max_bound │ f64 linf │ f64 l2        │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ trailer (24 B):                                              │
+//! │   u64 footer_len │ u64 fnv1a64(footer) │ "BLZSIDX1"          │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Everything is little-endian and fixed-width, so the footer is seekable
+//! from the end of the file without touching any payload: read the
+//! trailer, verify the checksum, decode `chunk_count` index entries.
+//! Appending is a pure forward write; the index is written once at
+//! `finish()` (the append-only, footer-indexed shape of TSM/Parquet
+//! files). Floats are stored via `to_bits`, so zone maps round-trip
+//! bit-exactly and a store written twice from the same data is
+//! byte-identical at any thread count.
+
+use crate::error::StoreError;
+use crate::zonemap::ZoneMap;
+use blazr::ops::{ChunkStats, ErrorBounds};
+
+/// Leading file magic.
+pub const HEADER_MAGIC: &[u8; 8] = b"BLZSTOR1";
+/// Trailing file magic.
+pub const TRAILER_MAGIC: &[u8; 8] = b"BLZSIDX1";
+/// Bytes of the fixed-size trailer: footer length, checksum, magic.
+pub const TRAILER_LEN: usize = 24;
+/// Bytes per index entry in the footer.
+pub const ENTRY_LEN: usize = 88;
+/// Smallest possible store file: header + empty footer + trailer.
+pub const MIN_FILE_LEN: usize = HEADER_MAGIC.len() + 8 + TRAILER_LEN;
+
+/// One chunk's footer record: where its payload lives and its zone map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexEntry {
+    /// Caller-chosen chunk label (time step, row offset, …); strictly
+    /// increasing across the store.
+    pub label: u64,
+    /// Absolute file offset of the chunk payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a64 checksum of the payload bytes, verified on every chunk
+    /// read — footer corruption is caught by the trailer checksum,
+    /// payload corruption by this one.
+    pub payload_sum: u64,
+    /// The chunk's compressed-space summary.
+    pub zone: ZoneMap,
+}
+
+/// FNV-1a 64-bit checksum (the footer is small; this is corruption
+/// detection, not cryptography).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+/// Encodes the footer (chunk count + index entries), without the trailer.
+pub fn encode_footer(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * ENTRY_LEN);
+    push_u64(&mut out, entries.len() as u64);
+    for e in entries {
+        push_u64(&mut out, e.label);
+        push_u64(&mut out, e.offset);
+        push_u64(&mut out, e.len);
+        push_u64(&mut out, e.payload_sum);
+        push_u64(&mut out, e.zone.stats.count);
+        push_f64(&mut out, e.zone.stats.sum);
+        push_f64(&mut out, e.zone.stats.sum_sq);
+        push_f64(&mut out, e.zone.stats.min_bound);
+        push_f64(&mut out, e.zone.stats.max_bound);
+        push_f64(&mut out, e.zone.bounds.linf);
+        push_f64(&mut out, e.zone.bounds.l2);
+    }
+    out
+}
+
+/// Encodes the trailer for a footer of the given bytes.
+pub fn encode_trailer(footer: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(TRAILER_LEN);
+    push_u64(&mut out, footer.len() as u64);
+    push_u64(&mut out, fnv1a64(footer));
+    out.extend_from_slice(TRAILER_MAGIC);
+    out
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.bytes[self.pos..self.pos + 8].try_into().expect("8 B"));
+        self.pos += 8;
+        v
+    }
+
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+}
+
+/// Decodes and validates a footer produced by [`encode_footer`].
+/// `payload_end` is the file offset where chunk payloads must end (the
+/// footer's own start); offsets and lengths are checked against it.
+pub fn decode_footer(footer: &[u8], payload_end: u64) -> Result<Vec<IndexEntry>, StoreError> {
+    let corrupt = |msg: String| StoreError::Corrupt(msg);
+    if footer.len() < 8 {
+        return Err(corrupt("footer shorter than its chunk count".into()));
+    }
+    let mut c = Cursor {
+        bytes: footer,
+        pos: 0,
+    };
+    let count = c.u64();
+    let expect = 8 + (count as usize).saturating_mul(ENTRY_LEN);
+    if footer.len() != expect {
+        return Err(corrupt(format!(
+            "footer holds {} bytes but {count} chunks need {expect}",
+            footer.len()
+        )));
+    }
+    let mut entries = Vec::with_capacity(count as usize);
+    let mut watermark = HEADER_MAGIC.len() as u64;
+    let mut last_label = None;
+    for i in 0..count {
+        let label = c.u64();
+        let offset = c.u64();
+        let len = c.u64();
+        let payload_sum = c.u64();
+        if let Some(last) = last_label {
+            if label <= last {
+                return Err(corrupt(format!(
+                    "chunk {i}: label {label} not after {last}"
+                )));
+            }
+        }
+        last_label = Some(label);
+        if offset < watermark || offset.checked_add(len).is_none_or(|end| end > payload_end) {
+            return Err(corrupt(format!(
+                "chunk {i}: payload [{offset}, {offset}+{len}) outside [{watermark}, {payload_end})"
+            )));
+        }
+        watermark = offset + len;
+        let stats = ChunkStats {
+            count: c.u64(),
+            sum: c.f64(),
+            sum_sq: c.f64(),
+            min_bound: c.f64(),
+            max_bound: c.f64(),
+        };
+        let bounds = ErrorBounds {
+            linf: c.f64(),
+            l2: c.f64(),
+        };
+        entries.push(IndexEntry {
+            label,
+            offset,
+            len,
+            payload_sum,
+            zone: ZoneMap { stats, bounds },
+        });
+    }
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(label: u64, offset: u64, len: u64) -> IndexEntry {
+        IndexEntry {
+            label,
+            offset,
+            len,
+            payload_sum: 0x1234_5678_9abc_def0,
+            zone: ZoneMap {
+                stats: ChunkStats {
+                    count: 64,
+                    sum: 1.5,
+                    sum_sq: 2.5,
+                    min_bound: -0.25,
+                    max_bound: 0.75,
+                },
+                bounds: ErrorBounds {
+                    linf: 1e-4,
+                    l2: 1e-3,
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn footer_roundtrips_bit_exactly() {
+        let entries = vec![entry(0, 8, 100), entry(10, 108, 50), entry(11, 158, 1)];
+        let footer = encode_footer(&entries);
+        assert_eq!(footer.len(), 8 + 3 * ENTRY_LEN);
+        let back = decode_footer(&footer, 159).unwrap();
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn empty_footer_roundtrips() {
+        let footer = encode_footer(&[]);
+        assert_eq!(decode_footer(&footer, 8).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn label_order_and_offsets_are_validated() {
+        // Non-increasing labels.
+        let footer = encode_footer(&[entry(5, 8, 10), entry(5, 18, 10)]);
+        assert!(matches!(
+            decode_footer(&footer, 28),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Payload reaching past the footer start.
+        let footer = encode_footer(&[entry(0, 8, 100)]);
+        assert!(decode_footer(&footer, 50).is_err());
+        // Payload under the header.
+        let footer = encode_footer(&[entry(0, 0, 4)]);
+        assert!(decode_footer(&footer, 50).is_err());
+        // Overlapping payloads.
+        let footer = encode_footer(&[entry(0, 8, 10), entry(1, 12, 10)]);
+        assert!(decode_footer(&footer, 50).is_err());
+        // Truncated / padded footers.
+        let good = encode_footer(&[entry(0, 8, 10)]);
+        assert!(decode_footer(&good[..good.len() - 1], 50).is_err());
+        assert!(decode_footer(&[], 50).is_err());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let footer = encode_footer(&[entry(0, 8, 10)]);
+        let h = fnv1a64(&footer);
+        for byte in [0, 10, footer.len() - 1] {
+            let mut bad = footer.clone();
+            bad[byte] ^= 0x01;
+            assert_ne!(fnv1a64(&bad), h, "flip at {byte} not detected");
+        }
+    }
+
+    #[test]
+    fn trailer_layout() {
+        let footer = encode_footer(&[]);
+        let t = encode_trailer(&footer);
+        assert_eq!(t.len(), TRAILER_LEN);
+        assert_eq!(&t[16..], TRAILER_MAGIC);
+        assert_eq!(u64::from_le_bytes(t[..8].try_into().unwrap()), 8);
+    }
+}

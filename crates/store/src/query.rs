@@ -1,0 +1,260 @@
+//! Query execution: label-range selection, zone-map predicate pushdown,
+//! and chunk-by-chunk compressed-space aggregation.
+//!
+//! A query runs in three stages:
+//!
+//! 1. **Select** — binary-search the sorted labels for `[from, to]`.
+//! 2. **Prune** — drop chunks whose zone map, widened by its error
+//!    bound, cannot satisfy the predicate. Pruned chunks' payload bytes
+//!    are never read.
+//! 3. **Scan** — decode the survivors in parallel, re-evaluate the
+//!    predicate *exactly* (per-block, still in compressed space), and
+//!    combine the matching chunks' [`ChunkStats`]/[`ErrorBounds`]
+//!    partials **in chunk order**.
+//!
+//! Stage 3's exact re-evaluation is what makes pruning transparent: the
+//! zone map is a superset filter (its chunk-level hull covers every
+//! block envelope), so a pruned run and a full scan admit exactly the
+//! same chunks and — because partials combine in chunk order, per the
+//! PR-2 determinism contract — produce **bit-identical** aggregates at
+//! any thread count.
+
+use crate::error::StoreError;
+use crate::store::Store;
+use crate::zonemap::ZoneMap;
+use blazr::dynamic::DynCompressed;
+use blazr::ops::{ChunkStats, ErrorBounds};
+use rayon::prelude::*;
+
+/// One scanned chunk's contribution: its label and partials, `None` when
+/// the exact predicate rejected it.
+type ChunkScan = Option<(u64, ChunkStats, ErrorBounds)>;
+
+/// A chunk-level predicate on the data values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Predicate {
+    /// Keep chunks that may hold an element in `[lo, hi]` (each side
+    /// widened by the chunk's per-element error bound, so no chunk whose
+    /// *original* data matches is ever dropped). Exact evaluation tests
+    /// each block's value envelope; the zone map tests the chunk hull.
+    ValueInRange {
+        /// Inclusive lower value bound (`-inf` for "no bound").
+        lo: f64,
+        /// Inclusive upper value bound (`+inf` for "no bound").
+        hi: f64,
+    },
+    /// Keep chunks whose mean lies in `[lo, hi]`, widened by the chunk's
+    /// mean error bound.
+    MeanInRange {
+        /// Inclusive lower mean bound.
+        lo: f64,
+        /// Inclusive upper mean bound.
+        hi: f64,
+    },
+}
+
+impl Predicate {
+    /// Zone-map test: may this chunk match? `false` is a safe prune.
+    pub fn zone_may_match(&self, zone: &ZoneMap) -> bool {
+        match *self {
+            Predicate::ValueInRange { lo, hi } => zone.may_contain_value(lo, hi),
+            Predicate::MeanInRange { lo, hi } => zone.mean_may_be_in(lo, hi),
+        }
+    }
+
+    /// Exact test on a decoded chunk (still compressed-space: block
+    /// envelopes and DC statistics, never element decompression). Always
+    /// implies [`Predicate::zone_may_match`] on the chunk's zone map.
+    pub fn matches_chunk(&self, c: &DynCompressed, zone: &ZoneMap) -> Result<bool, StoreError> {
+        match *self {
+            Predicate::ValueInRange { lo, hi } => {
+                let slack = zone.bounds.linf;
+                Ok(c.block_envelopes()?
+                    .iter()
+                    .any(|&(bl, bh)| bl - slack <= hi && bh + slack >= lo))
+            }
+            Predicate::MeanInRange { lo, hi } => Ok(zone.mean_may_be_in(lo, hi)),
+        }
+    }
+}
+
+/// Which scalar to aggregate over the matching chunks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregate {
+    /// Number of elements covered.
+    Count,
+    /// Sum of elements.
+    Sum,
+    /// Mean of elements.
+    Mean,
+    /// Population variance of elements (across all matching chunks).
+    Variance,
+    /// L2 norm of the concatenated elements.
+    L2Norm,
+}
+
+impl Aggregate {
+    /// Parses a CLI-style name.
+    pub fn parse(s: &str) -> Result<Self, StoreError> {
+        Ok(match s {
+            "count" => Aggregate::Count,
+            "sum" => Aggregate::Sum,
+            "mean" => Aggregate::Mean,
+            "variance" | "var" => Aggregate::Variance,
+            "l2" | "l2norm" => Aggregate::L2Norm,
+            other => {
+                return Err(StoreError::InvalidArgument(format!(
+                    "unknown aggregate {other:?} (want count|sum|mean|variance|l2)"
+                )))
+            }
+        })
+    }
+}
+
+/// A store query: label range, optional predicate, aggregate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Query {
+    /// Inclusive label lower bound.
+    pub from_label: u64,
+    /// Inclusive label upper bound.
+    pub to_label: u64,
+    /// Chunk predicate; `None` keeps every chunk in the label range.
+    pub predicate: Option<Predicate>,
+    /// What to compute over the matching chunks.
+    pub aggregate: Aggregate,
+}
+
+impl Query {
+    /// A query over every label with no predicate.
+    pub fn all(aggregate: Aggregate) -> Self {
+        Self {
+            from_label: 0,
+            to_label: u64::MAX,
+            predicate: None,
+            aggregate,
+        }
+    }
+}
+
+/// The outcome of a query: the aggregate, its error bound against the
+/// original (pre-compression) data, and the pruning accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// The aggregate value (NaN for mean/variance over zero chunks).
+    pub value: f64,
+    /// §IV-D error-model bound on `|value − value_on_original_data|`.
+    pub error_bound: f64,
+    /// Merged statistics of the matching chunks.
+    pub stats: ChunkStats,
+    /// Merged error bounds of the matching chunks.
+    pub bounds: ErrorBounds,
+    /// Labels of the chunks that matched the predicate.
+    pub matched_labels: Vec<u64>,
+    /// Chunks whose labels fell in the query range.
+    pub chunks_in_range: usize,
+    /// Chunks skipped by zone-map pruning (payload never read).
+    pub chunks_pruned: usize,
+    /// Chunks decoded and exactly evaluated.
+    pub chunks_scanned: usize,
+}
+
+/// Bound on `|Var(x̂) − Var(x)|` from the merged bounds and statistics:
+/// `E[x²]` shifts by at most `(2‖x̂‖₂ + ε₂)·ε₂/n` and `E[x]²` by at most
+/// `(2|m̂| + ε_m)·ε_m`, where `ε₂` bounds `‖x̂ − x‖₂` and `ε_m` the mean
+/// error.
+fn variance_bound(stats: &ChunkStats, bounds: &ErrorBounds) -> f64 {
+    if stats.count == 0 {
+        return 0.0;
+    }
+    let n = stats.count as f64;
+    let e2 = bounds.l2;
+    let em = bounds.mean_bound(stats.count);
+    (2.0 * stats.l2_norm() + e2) * e2 / n + (2.0 * stats.mean().abs() + em) * em
+}
+
+impl Store {
+    /// Runs `q` with zone-map pruning: only chunks the zone maps cannot
+    /// rule out are decoded. The result is bit-identical to
+    /// [`Store::query_full_scan`].
+    pub fn query(&self, q: &Query) -> Result<QueryResult, StoreError> {
+        self.execute(q, true)
+    }
+
+    /// Runs `q` decoding every chunk in the label range (the reference
+    /// scan the pruned path must reproduce bit-for-bit).
+    pub fn query_full_scan(&self, q: &Query) -> Result<QueryResult, StoreError> {
+        self.execute(q, false)
+    }
+
+    fn execute(&self, q: &Query, prune: bool) -> Result<QueryResult, StoreError> {
+        if q.from_label > q.to_label {
+            return Err(StoreError::InvalidArgument(format!(
+                "empty label range: from {} > to {}",
+                q.from_label, q.to_label
+            )));
+        }
+        let range = self.select(q.from_label, q.to_label);
+        let chunks_in_range = range.len();
+
+        // Stage 2: prune on zone maps alone (footer data, no payload).
+        let survivors: Vec<usize> = range
+            .filter(|&i| match (&q.predicate, prune) {
+                (Some(p), true) => p.zone_may_match(&self.entries()[i].zone),
+                _ => true,
+            })
+            .collect();
+        let chunks_pruned = chunks_in_range - survivors.len();
+
+        // Stage 3: decode + exact predicate + partials, in parallel; each
+        // element is independent, and the fold below runs in chunk order.
+        let scanned: Vec<Result<ChunkScan, StoreError>> = survivors
+            .par_iter()
+            .map(|&i| {
+                let entry = &self.entries()[i];
+                let c = self.chunk(i)?;
+                let matched = match &q.predicate {
+                    Some(p) => p.matches_chunk(&c, &entry.zone)?,
+                    None => true,
+                };
+                if !matched {
+                    return Ok(None);
+                }
+                // Recompute (not copy) the partials from the payload: the
+                // determinism contract makes them equal the stored zone
+                // map bit-for-bit, and recomputing keeps the full scan an
+                // honest reference for index corruption too.
+                let stats = c.stats_partial()?;
+                Ok(Some((entry.label, stats, c.error_bounds())))
+            })
+            .collect();
+
+        let mut stats = ChunkStats::empty();
+        let mut bounds = ErrorBounds::exact();
+        let mut matched_labels = Vec::new();
+        for r in scanned {
+            if let Some((label, s, b)) = r? {
+                matched_labels.push(label);
+                stats.merge(&s);
+                bounds.merge(&b);
+            }
+        }
+
+        let (value, error_bound) = match q.aggregate {
+            Aggregate::Count => (stats.count as f64, 0.0),
+            Aggregate::Sum => (stats.sum, bounds.sum_bound(stats.count)),
+            Aggregate::Mean => (stats.mean(), bounds.mean_bound(stats.count)),
+            Aggregate::Variance => (stats.variance(), variance_bound(&stats, &bounds)),
+            Aggregate::L2Norm => (stats.l2_norm(), bounds.l2),
+        };
+        Ok(QueryResult {
+            value,
+            error_bound,
+            stats,
+            bounds,
+            matched_labels,
+            chunks_in_range,
+            chunks_pruned,
+            chunks_scanned: survivors.len(),
+        })
+    }
+}

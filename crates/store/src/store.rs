@@ -1,0 +1,399 @@
+//! Read-only store handle: the index in memory, chunk decode on demand,
+//! and the paper's §VI series analyses running against on-disk data.
+
+use crate::error::{io_err, StoreError};
+use crate::format::{
+    decode_footer, fnv1a64, IndexEntry, HEADER_MAGIC, MIN_FILE_LEN, TRAILER_LEN, TRAILER_MAGIC,
+};
+use crate::writer::StoreWriter;
+use crate::zonemap::ZoneMap;
+use blazr::dynamic::{from_bytes_dyn, DynCompressed};
+use blazr::series::CompressedSeries;
+use blazr::{BinIndex, CompressedArray, IndexType, ScalarType};
+use blazr_precision::StorableReal;
+use rayon::prelude::*;
+use std::ops::Range;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+/// Where an open store's bytes live. [`Store::open`] keeps the file
+/// handle and fetches byte ranges on demand with positional reads (no
+/// shared cursor, so parallel chunk scans are race-free);
+/// [`Store::from_bytes`] serves reads from a memory buffer.
+#[derive(Debug)]
+enum Backing {
+    Mem(Vec<u8>),
+    File(std::fs::File, u64),
+}
+
+impl Backing {
+    fn len(&self) -> u64 {
+        match self {
+            Backing::Mem(v) => v.len() as u64,
+            Backing::File(_, len) => *len,
+        }
+    }
+
+    /// Reads exactly `len` bytes at `offset`. Callers validate ranges
+    /// against [`Backing::len`] up front (the footer decoder does), so a
+    /// short read here means the file changed underneath us.
+    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+        match self {
+            Backing::Mem(v) => v
+                .get(offset as usize..offset as usize + len)
+                .map(<[u8]>::to_vec)
+                .ok_or_else(|| {
+                    StoreError::Corrupt(format!(
+                        "read [{offset}, {offset}+{len}) beyond {} bytes",
+                        v.len()
+                    ))
+                }),
+            Backing::File(f, _) => {
+                let mut buf = vec![0u8; len];
+                f.read_exact_at(&mut buf, offset).map_err(|e| {
+                    StoreError::Io(format!("cannot read [{offset}, {offset}+{len}): {e}"))
+                })?;
+                Ok(buf)
+            }
+        }
+    }
+}
+
+/// An open store: the decoded footer index plus a handle to the payload
+/// bytes. Only the footer is read at open time; chunk payloads are
+/// fetched and decoded lazily, per access, so queries that prune on zone
+/// maps never read the pruned payloads' bytes at all.
+#[derive(Debug)]
+pub struct Store {
+    backing: Backing,
+    entries: Vec<IndexEntry>,
+}
+
+impl Store {
+    /// Opens and validates a store file. Reads the header, trailer, and
+    /// footer only — O(index), not O(file).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
+        let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
+        Self::load(Backing::File(file, len))
+    }
+
+    /// Opens a store from its raw bytes (validates header, trailer,
+    /// checksum, and index geometry — never panics on corrupt input).
+    pub fn from_bytes(data: Vec<u8>) -> Result<Self, StoreError> {
+        Self::load(Backing::Mem(data))
+    }
+
+    fn load(backing: Backing) -> Result<Self, StoreError> {
+        let corrupt = |msg: String| StoreError::Corrupt(msg);
+        let file_len = backing.len();
+        if file_len < MIN_FILE_LEN as u64 {
+            return Err(corrupt(format!(
+                "file holds {file_len} bytes; a store needs at least {MIN_FILE_LEN}"
+            )));
+        }
+        if backing.read_at(0, HEADER_MAGIC.len())? != HEADER_MAGIC {
+            return Err(corrupt("missing BLZSTOR1 header magic".into()));
+        }
+        let trailer = backing.read_at(file_len - TRAILER_LEN as u64, TRAILER_LEN)?;
+        if &trailer[16..] != TRAILER_MAGIC {
+            return Err(corrupt(
+                "missing BLZSIDX1 trailer magic (truncated or unfinished store?)".into(),
+            ));
+        }
+        let footer_len = u64::from_le_bytes(trailer[..8].try_into().expect("8 B"));
+        let stored_sum = u64::from_le_bytes(trailer[8..16].try_into().expect("8 B"));
+        let Some(footer_start) = file_len
+            .checked_sub(TRAILER_LEN as u64)
+            .and_then(|v| v.checked_sub(footer_len))
+            .filter(|&v| v >= HEADER_MAGIC.len() as u64)
+        else {
+            return Err(corrupt(format!(
+                "footer length {footer_len} does not fit in a {file_len}-byte file"
+            )));
+        };
+        let footer = backing.read_at(footer_start, footer_len as usize)?;
+        let actual_sum = fnv1a64(&footer);
+        if actual_sum != stored_sum {
+            return Err(corrupt(format!(
+                "footer checksum mismatch: stored {stored_sum:#018x}, computed {actual_sum:#018x}"
+            )));
+        }
+        let entries = decode_footer(&footer, footer_start)?;
+        Ok(Self { backing, entries })
+    }
+
+    /// Number of chunks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True for a store with no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The index entries, in label order.
+    pub fn entries(&self) -> &[IndexEntry] {
+        &self.entries
+    }
+
+    /// The chunk labels, in order.
+    pub fn labels(&self) -> Vec<u64> {
+        self.entries.iter().map(|e| e.label).collect()
+    }
+
+    /// The zone map of chunk `i`.
+    pub fn zone_map(&self, i: usize) -> &ZoneMap {
+        &self.entries[i].zone
+    }
+
+    /// Total bytes of chunk payloads (excludes header, footer, trailer).
+    pub fn payload_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| e.len).sum()
+    }
+
+    /// Whole-file size in bytes.
+    pub fn file_bytes(&self) -> u64 {
+        self.backing.len()
+    }
+
+    /// Raw serialized bytes of chunk `i`, verified against the footer's
+    /// payload checksum (bit rot in a payload is caught here, on read —
+    /// the trailer checksum only covers the footer).
+    pub fn chunk_bytes(&self, i: usize) -> Result<Vec<u8>, StoreError> {
+        let e = &self.entries[i];
+        let bytes = self.backing.read_at(e.offset, e.len as usize)?;
+        let actual = fnv1a64(&bytes);
+        if actual != e.payload_sum {
+            return Err(StoreError::Corrupt(format!(
+                "chunk {i} (label {}): payload checksum mismatch: stored {:#018x}, computed {actual:#018x}",
+                e.label, e.payload_sum
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Decodes chunk `i` with runtime types read from its payload.
+    pub fn chunk(&self, i: usize) -> Result<DynCompressed, StoreError> {
+        Ok(from_bytes_dyn(&self.chunk_bytes(i)?)?)
+    }
+
+    /// Decodes chunk `i` at a statically-known type pair.
+    pub fn chunk_typed<P: StorableReal, I: BinIndex>(
+        &self,
+        i: usize,
+    ) -> Result<CompressedArray<P, I>, StoreError> {
+        Ok(CompressedArray::<P, I>::from_bytes(&self.chunk_bytes(i)?)?)
+    }
+
+    /// The runtime types of the store's chunks, from the first chunk's
+    /// §IV-C type tags (`None` for an empty store or an unreadable tag
+    /// byte; this is a cheap one-byte diagnostic peek, not a checksummed
+    /// read).
+    pub fn chunk_types(&self) -> Option<(ScalarType, IndexType)> {
+        let first = self.entries.first()?;
+        let tag = self.backing.read_at(first.offset, 1).ok()?;
+        blazr::serialize::peek_types(&tag)
+    }
+
+    /// Indices of the chunks whose labels fall in `[from, to]`
+    /// (inclusive). Labels are sorted, so this is two binary searches.
+    pub fn select(&self, from: u64, to: u64) -> Range<usize> {
+        let lo = self.entries.partition_point(|e| e.label < from);
+        let hi = self.entries.partition_point(|e| e.label <= to);
+        lo..hi.max(lo)
+    }
+
+    /// Checks that `self` and `other` hold the same labels in `range`
+    /// and returns the paired indices.
+    fn aligned(
+        &self,
+        other: &Store,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<(usize, usize)>, StoreError> {
+        let a = self.select(from, to);
+        let b = other.select(from, to);
+        if a.len() != b.len()
+            || a.clone()
+                .zip(b.clone())
+                .any(|(i, j)| self.entries[i].label != other.entries[j].label)
+        {
+            return Err(StoreError::InvalidArgument(format!(
+                "stores hold different labels in [{from}, {to}]"
+            )));
+        }
+        Ok(a.zip(b).collect())
+    }
+
+    /// L2 distance between same-label chunks of two stores (the §I "two
+    /// movies" comparison, on disk): one `(label, ‖A−B‖₂, error bound)`
+    /// per label in `[from, to]`. The bound is the triangle-inequality
+    /// widening by both chunks' §IV-D error models. Chunk pairs are
+    /// processed in parallel; results are in label order and
+    /// bit-deterministic at any thread count.
+    pub fn deviation_from(
+        &self,
+        other: &Store,
+        from: u64,
+        to: u64,
+    ) -> Result<Vec<(u64, f64, f64)>, StoreError> {
+        let pairs = self.aligned(other, from, to)?;
+        let rows: Vec<Result<(u64, f64, f64), StoreError>> = pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let a = self.chunk(i)?;
+                let b = other.chunk(j)?;
+                let d = a.sub(&b)?.l2_norm();
+                let bound = self.entries[i].zone.bounds.l2 + other.entries[j].zone.bounds.l2;
+                Ok((self.entries[i].label, d, bound))
+            })
+            .collect();
+        rows.into_iter().collect()
+    }
+
+    /// Dot product of the concatenation of same-label chunks in
+    /// `[from, to]`: `Σ_chunks ⟨A_k, B_k⟩`, combined in label order.
+    /// Returns `(value, error bound)`.
+    pub fn dot(&self, other: &Store, from: u64, to: u64) -> Result<(f64, f64), StoreError> {
+        let pairs = self.aligned(other, from, to)?;
+        let parts: Vec<Result<(f64, f64), StoreError>> = pairs
+            .par_iter()
+            .map(|&(i, j)| {
+                let a = self.chunk(i)?;
+                let b = other.chunk(j)?;
+                let d = a.dot(&b)?;
+                // |⟨â,b̂⟩ − ⟨a,b⟩| ≤ ‖â‖δ_b + ‖b̂‖δ_a + δ_a·δ_b.
+                let (ea, eb) = (
+                    self.entries[i].zone.bounds.l2,
+                    other.entries[j].zone.bounds.l2,
+                );
+                let (na, nb) = (
+                    self.entries[i].zone.stats.l2_norm(),
+                    other.entries[j].zone.stats.l2_norm(),
+                );
+                Ok((d, na * eb + nb * ea + ea * eb))
+            })
+            .collect();
+        let mut value = 0.0;
+        let mut bound = 0.0;
+        for p in parts {
+            let (v, b) = p?;
+            value += v;
+            bound += b;
+        }
+        Ok((value, bound))
+    }
+
+    /// Decodes every chunk once, in parallel (adjacent-pair analyses
+    /// would otherwise decode each interior chunk twice).
+    fn decoded_chunks(&self) -> Result<Vec<DynCompressed>, StoreError> {
+        let rows: Vec<Result<DynCompressed, StoreError>> = (0..self.len())
+            .into_par_iter()
+            .map(|i| self.chunk(i))
+            .collect();
+        rows.into_iter().collect()
+    }
+
+    /// L2 distance between adjacent chunks — the Fig. 6(a) scission
+    /// analysis, against on-disk data.
+    pub fn adjacent_l2(&self) -> Result<Vec<(u64, u64, f64)>, StoreError> {
+        let chunks = self.decoded_chunks()?;
+        let rows: Vec<Result<(u64, u64, f64), StoreError>> = (0..self.len().saturating_sub(1))
+            .into_par_iter()
+            .map(|w| {
+                let d = chunks[w].sub(&chunks[w + 1])?.l2_norm();
+                Ok((self.entries[w].label, self.entries[w + 1].label, d))
+            })
+            .collect();
+        rows.into_iter().collect()
+    }
+
+    /// Approximate Wasserstein distance between adjacent chunks — the
+    /// Fig. 6(b) analysis, against on-disk data.
+    pub fn adjacent_wasserstein(&self, p: f64) -> Result<Vec<(u64, u64, f64)>, StoreError> {
+        let chunks = self.decoded_chunks()?;
+        let rows: Vec<Result<(u64, u64, f64), StoreError>> = (0..self.len().saturating_sub(1))
+            .into_par_iter()
+            .map(|w| {
+                let d = chunks[w].wasserstein(&chunks[w + 1], p)?;
+                Ok((self.entries[w].label, self.entries[w + 1].label, d))
+            })
+            .collect();
+        rows.into_iter().collect()
+    }
+
+    /// The adjacent pair with the largest L2 jump (event detection).
+    pub fn largest_jump(&self) -> Result<Option<(u64, u64, f64)>, StoreError> {
+        Ok(self
+            .adjacent_l2()?
+            .into_iter()
+            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances")))
+    }
+
+    /// First label at which this store deviates from `other` by more than
+    /// `threshold` in relative L2 — [`CompressedSeries::first_divergence`]
+    /// against on-disk data. Scans label order sequentially and stops at
+    /// the first divergence, so the cost is bounded by where the runs
+    /// split, not by the store size.
+    pub fn first_divergence(
+        &self,
+        other: &Store,
+        threshold: f64,
+    ) -> Result<Option<u64>, StoreError> {
+        if self.labels() != other.labels() {
+            return Err(StoreError::InvalidArgument(
+                "stores hold different labels".into(),
+            ));
+        }
+        for i in 0..self.len() {
+            let diff = self.chunk(i)?.sub(&other.chunk(i)?)?.l2_norm();
+            let scale = self.entries[i].zone.stats.l2_norm().max(f64::MIN_POSITIVE);
+            if diff / scale > threshold {
+                return Ok(Some(self.entries[i].label));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Loads the whole store as an in-memory [`CompressedSeries`] (the
+    /// store is the durable form of a series; this is the bridge back).
+    /// Fails if chunks differ in type, settings, or shape.
+    pub fn to_series<P: StorableReal, I: BinIndex>(
+        &self,
+    ) -> Result<CompressedSeries<P, I>, StoreError> {
+        let mut frames = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            frames.push(self.chunk_typed::<P, I>(i)?);
+        }
+        let settings = match frames.first() {
+            Some(f) => f.settings().clone(),
+            None => {
+                return Err(StoreError::InvalidArgument(
+                    "cannot build a series from an empty store (settings unknown)".into(),
+                ))
+            }
+        };
+        Ok(CompressedSeries::from_parts(
+            settings,
+            self.labels(),
+            frames,
+        )?)
+    }
+}
+
+/// Persists a [`CompressedSeries`] as a store file (each frame becomes a
+/// chunk; zone maps are computed in compressed space — no frame is
+/// decompressed).
+pub fn write_series<P: StorableReal, I: BinIndex>(
+    path: impl AsRef<Path>,
+    series: &CompressedSeries<P, I>,
+) -> Result<(), StoreError> {
+    let mut w = StoreWriter::create(path, series.settings().clone(), P::TYPE, I::TYPE)?;
+    for (i, &label) in series.labels().iter().enumerate() {
+        w.append_compressed(label, series.frame(i))?;
+    }
+    w.finish()
+}

@@ -1,0 +1,219 @@
+//! Append-only store writer.
+
+use crate::error::{io_err, StoreError};
+use crate::format::{encode_footer, encode_trailer, fnv1a64, IndexEntry, HEADER_MAGIC};
+use crate::zonemap::ZoneMap;
+use blazr::dynamic::{compress_dyn, DynCompressed};
+use blazr::{BinIndex, CompressedArray, IndexType, ScalarType, Settings};
+use blazr_precision::StorableReal;
+use blazr_tensor::NdArray;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Per-process counter making concurrent writers' temp names unique.
+static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+
+/// Writes a store file chunk by chunk: payloads stream to disk as they
+/// are appended; the zone-map index accumulates in memory and lands in
+/// the footer at [`StoreWriter::finish`].
+///
+/// Ingest is atomic: chunks stream into a uniquely-named
+/// `<path>.<pid>.<nonce>.tmp`, and only `finish()` — after the footer is
+/// written and synced, and before the parent directory is synced —
+/// renames the temp file onto `path`. A crashed or dropped writer
+/// removes its temp file and leaves any pre-existing store at `path`
+/// untouched, so re-ingesting over a good store can never destroy it,
+/// and concurrent ingests to the same destination cannot interleave
+/// (last `finish()` wins whole).
+pub struct StoreWriter {
+    file: BufWriter<File>,
+    path: PathBuf,
+    tmp_path: PathBuf,
+    offset: u64,
+    entries: Vec<IndexEntry>,
+    settings: Settings,
+    float_type: ScalarType,
+    index_type: IndexType,
+    finished: bool,
+}
+
+impl StoreWriter {
+    /// Creates (truncating) a store at `path`. Every chunk appended
+    /// through [`StoreWriter::append`] is compressed with `settings` and
+    /// the given runtime types; pre-compressed chunks must match them.
+    /// The settings must keep the DC coefficient — zone maps need block
+    /// means.
+    pub fn create(
+        path: impl AsRef<Path>,
+        settings: Settings,
+        float_type: ScalarType,
+        index_type: IndexType,
+    ) -> Result<Self, StoreError> {
+        if !settings.dc_available() {
+            return Err(StoreError::InvalidArgument(
+                "store settings must keep the DC coefficient (zone maps need block means)".into(),
+            ));
+        }
+        let path = path.as_ref().to_path_buf();
+        let mut tmp_os = path.clone().into_os_string();
+        tmp_os.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            TMP_NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp_path = PathBuf::from(tmp_os);
+        let file = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
+        let mut file = BufWriter::new(file);
+        file.write_all(HEADER_MAGIC)
+            .map_err(|e| io_err("write", &tmp_path, e))?;
+        Ok(Self {
+            file,
+            path,
+            tmp_path,
+            offset: HEADER_MAGIC.len() as u64,
+            entries: Vec::new(),
+            settings,
+            float_type,
+            index_type,
+            finished: false,
+        })
+    }
+
+    /// The settings every chunk is compressed with.
+    pub fn settings(&self) -> &Settings {
+        &self.settings
+    }
+
+    /// Chunks appended so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True before the first append.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn check_label(&self, label: u64) -> Result<(), StoreError> {
+        if let Some(last) = self.entries.last() {
+            if label <= last.label {
+                return Err(StoreError::InvalidArgument(format!(
+                    "labels must increase: {label} after {}",
+                    last.label
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_chunk(
+        &self,
+        float_type: ScalarType,
+        index_type: IndexType,
+        settings: &Settings,
+    ) -> Result<(), StoreError> {
+        if float_type != self.float_type || index_type != self.index_type {
+            return Err(StoreError::InvalidArgument(format!(
+                "chunk types {float_type}/{index_type} do not match store types {}/{}",
+                self.float_type, self.index_type
+            )));
+        }
+        if *settings != self.settings {
+            return Err(StoreError::InvalidArgument(
+                "chunk settings do not match store settings".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn write_chunk(&mut self, label: u64, bytes: &[u8], zone: ZoneMap) -> Result<(), StoreError> {
+        self.file
+            .write_all(bytes)
+            .map_err(|e| io_err("write", &self.tmp_path, e))?;
+        self.entries.push(IndexEntry {
+            label,
+            offset: self.offset,
+            len: bytes.len() as u64,
+            payload_sum: fnv1a64(bytes),
+            zone,
+        });
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    /// Compresses `frame` with the store's settings and appends it under
+    /// `label`. Returns the chunk's zone map.
+    pub fn append(&mut self, label: u64, frame: &NdArray<f64>) -> Result<ZoneMap, StoreError> {
+        self.check_label(label)?;
+        let c = compress_dyn(frame, &self.settings, self.float_type, self.index_type)?;
+        let zone = ZoneMap::of_dyn(&c)?;
+        self.write_chunk(label, &c.to_bytes(), zone)?;
+        Ok(zone)
+    }
+
+    /// Appends an already-compressed chunk (no decompression, no
+    /// recompression — the zone map too is computed in compressed space).
+    /// Its settings and runtime types must match the store's.
+    pub fn append_dyn(&mut self, label: u64, c: &DynCompressed) -> Result<ZoneMap, StoreError> {
+        self.check_label(label)?;
+        self.check_chunk(c.float_type(), c.index_type(), c.settings())?;
+        let zone = ZoneMap::of_dyn(c)?;
+        self.write_chunk(label, &c.to_bytes(), zone)?;
+        Ok(zone)
+    }
+
+    /// Typed variant of [`StoreWriter::append_dyn`].
+    pub fn append_compressed<P: StorableReal, I: BinIndex>(
+        &mut self,
+        label: u64,
+        c: &CompressedArray<P, I>,
+    ) -> Result<ZoneMap, StoreError> {
+        self.check_label(label)?;
+        self.check_chunk(P::TYPE, I::TYPE, c.settings())?;
+        let zone = ZoneMap::of(c)?;
+        self.write_chunk(label, &c.to_bytes(), zone)?;
+        Ok(zone)
+    }
+
+    /// Writes the zone-map footer and trailer, syncs, and atomically
+    /// renames the temp file onto the destination. Only after this
+    /// returns does `path` hold (or change to) the new store.
+    pub fn finish(mut self) -> Result<(), StoreError> {
+        let footer = encode_footer(&self.entries);
+        let trailer = encode_trailer(&footer);
+        self.file
+            .write_all(&footer)
+            .and_then(|()| self.file.write_all(&trailer))
+            .and_then(|()| self.file.flush())
+            .map_err(|e| io_err("write", &self.tmp_path, e))?;
+        self.file
+            .get_ref()
+            .sync_all()
+            .map_err(|e| io_err("sync", &self.tmp_path, e))?;
+        std::fs::rename(&self.tmp_path, &self.path)
+            .map_err(|e| io_err("rename into place", &self.path, e))?;
+        // Make the rename itself durable: sync the directory entry, or a
+        // power cut after this return could roll the path back.
+        let parent = match self.path.parent() {
+            Some(p) if !p.as_os_str().is_empty() => p,
+            _ => Path::new("."),
+        };
+        File::open(parent)
+            .and_then(|d| d.sync_all())
+            .map_err(|e| io_err("sync directory", parent, e))?;
+        self.finished = true;
+        Ok(())
+    }
+}
+
+impl Drop for StoreWriter {
+    fn drop(&mut self) {
+        if !self.finished {
+            // Best-effort cleanup: an abandoned ingest leaves no debris
+            // (and never touched the destination path).
+            let _ = std::fs::remove_file(&self.tmp_path);
+        }
+    }
+}

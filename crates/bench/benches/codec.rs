@@ -65,6 +65,7 @@ fn bench_serialization(c: &mut Criterion) {
     let bytes = compressed.to_bytes();
     let mut g = c.benchmark_group("serialize");
     g.sample_size(10);
+    g.throughput(Throughput::Elements((512 * 512) as u64));
     g.bench_function("to_bytes", |b| b.iter(|| compressed.to_bytes()));
     g.bench_function("from_bytes", |b| {
         b.iter(|| CompressedArray::<f32, i8>::from_bytes(&bytes).unwrap())

@@ -61,6 +61,30 @@ fn bench_ingest(c: &mut Criterion) {
     g.finish();
 }
 
+/// Ingest with chunks big enough that compression dominates the
+/// finish-time fsyncs and store bookkeeping — this number moves with codec
+/// throughput, which is what `store ingest` inherits from the fused
+/// compress pipeline.
+fn bench_ingest_compress_bound(c: &mut Criterion) {
+    const BIG_CHUNKS: u64 = 4;
+    const BIG_N: usize = 256;
+    let mut rng = Xoshiro256pp::seed_from_u64(78);
+    let data: Vec<(u64, NdArray<f64>)> = (0..BIG_CHUNKS)
+        .map(|t| {
+            let f = NdArray::from_fn(vec![BIG_N, BIG_N], |_| t as f64 + rng.uniform_in(-0.4, 0.4));
+            (t, f)
+        })
+        .collect();
+    let elements = BIG_CHUNKS * (BIG_N * BIG_N) as u64;
+    let mut g = c.benchmark_group(format!("store-ingest/{BIG_CHUNKS}x{BIG_N}x{BIG_N}-f32-i16"));
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(elements));
+    g.bench_function("ingest", |b| {
+        b.iter(|| write_store(&tmp("ingest-big.blzs"), &data))
+    });
+    g.finish();
+}
+
 fn bench_query(c: &mut Criterion) {
     let path = tmp("query.blzs");
     write_store(&path, &frames());
@@ -96,5 +120,10 @@ fn bench_query(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_ingest, bench_query);
+criterion_group!(
+    benches,
+    bench_ingest,
+    bench_ingest_compress_bound,
+    bench_query
+);
 criterion_main!(benches);

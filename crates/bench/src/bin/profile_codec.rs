@@ -1,0 +1,60 @@
+//! Ad-hoc stage breakdown for the codec hot path.
+//!
+//! Prints wall times for the individual pipeline stages (dtype conversion,
+//! blocking, forward transform) next to the fused `compress`/`decompress`
+//! entry points, so a perf regression can be attributed to a stage without
+//! firing up a profiler. Not a benchmark target — run it directly:
+//!
+//! ```text
+//! BLAZR_NUM_THREADS=1 cargo run --release -p blazr-bench --bin profile_codec
+//! ```
+
+use blazr::{compress, compress_values, CompressedArray, Settings};
+use blazr_tensor::blocking::Blocked;
+use blazr_tensor::NdArray;
+use blazr_transform::BlockTransform;
+use blazr_util::rng::Xoshiro256pp;
+use std::time::Instant;
+
+fn main() {
+    let n = 1024usize;
+    let mut rng = Xoshiro256pp::seed_from_u64(n as u64);
+    let a = NdArray::from_fn(vec![n, n], |_| rng.uniform());
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let t = |label: &str, f: &mut dyn FnMut()| {
+        let t0 = Instant::now();
+        for _ in 0..5 {
+            f();
+        }
+        println!("{label:<24} {:?}", t0.elapsed() / 5);
+    };
+
+    let conv: NdArray<f32> = a.convert();
+    t("convert", &mut || {
+        std::hint::black_box(a.convert::<f32>());
+    });
+    t("partition(gather)", &mut || {
+        std::hint::black_box(Blocked::partition(&conv, &[8, 8]));
+    });
+    let bt = BlockTransform::<f32>::new(settings.transform, &settings.block_shape);
+    let mut blocked = Blocked::partition(&conv, &[8, 8]);
+    t("forward-all-blocks", &mut || {
+        let mut scratch = vec![0.0f32; 64];
+        for kb in 0..blocked.block_count() {
+            bt.forward(blocked.block_mut(kb), &mut scratch);
+        }
+    });
+    t("compress(full)", &mut || {
+        std::hint::black_box(compress::<f32, i16>(&a, &settings).unwrap());
+    });
+    t("compress_values", &mut || {
+        std::hint::black_box(compress_values::<f32, i16>(&conv, &settings).unwrap());
+    });
+    let c: CompressedArray<f32, i16> = compress(&a, &settings).unwrap();
+    t("decompress", &mut || {
+        std::hint::black_box(c.decompress());
+    });
+    t("decompress_values", &mut || {
+        std::hint::black_box(c.decompress_values());
+    });
+}

@@ -3,7 +3,8 @@
 use crate::report::CompressionReport;
 use crate::{BinIndex, BlazError, CompressedArray, Settings};
 use blazr_precision::Real;
-use blazr_tensor::blocking::Blocked;
+use blazr_tensor::blocking::{gather_block, Blocked};
+use blazr_tensor::shape::{ceil_div, num_elements};
 use blazr_tensor::NdArray;
 use blazr_transform::BlockTransform;
 use rayon::prelude::*;
@@ -46,7 +47,7 @@ pub fn compress_values<P: Real, I: BinIndex>(
     input: &NdArray<P>,
     settings: &Settings,
 ) -> Result<CompressedArray<P, I>, BlazError> {
-    compress_converted(input, input.shape().to_vec(), settings).map(|(c, _)| c)
+    compress_fused(input, input.shape().to_vec(), settings)
 }
 
 fn compress_impl<P: Real, I: BinIndex>(
@@ -56,17 +57,122 @@ fn compress_impl<P: Real, I: BinIndex>(
 ) -> Result<(CompressedArray<P, I>, Option<CompressionReport>), BlazError> {
     // Step (a): data type conversion to the working precision.
     let converted: NdArray<P> = input.convert();
+    if !want_report {
+        let compressed = compress_fused(&converted, input.shape().to_vec(), settings)?;
+        return Ok((compressed, None));
+    }
+    // The report needs the exact transform coefficients of every block, so
+    // it takes the staged path that materializes them.
     let (compressed, blocked) = compress_converted(&converted, input.shape().to_vec(), settings)?;
-    let report = if want_report {
-        Some(build_report(input, &converted, &blocked, &compressed))
-    } else {
-        None
-    };
-    Ok((compressed, report))
+    let report = build_report(input, &converted, &blocked, &compressed);
+    Ok((compressed, Some(report)))
 }
 
-/// Steps (b)–(e) on data already in precision `P`. Returns the compressed
-/// array and the exact transform coefficients (for error reporting).
+/// Steps (b)–(e) fused into one pass over blocks: gather each block into
+/// thread-local scratch, transform it there, and bin straight into the
+/// output `biggest`/`indices` slices — no `n_blocks × block_len`
+/// coefficient buffer is ever materialized.
+///
+/// Per-block work is independent and writes disjoint output slices, and
+/// every block's arithmetic matches the staged path
+/// ([`Blocked::partition`] → forward → bin) operation for operation, so
+/// the result is bit-identical to it at any thread count
+/// (`tests/fused_pipeline.rs` locks this in).
+fn compress_fused<P: Real, I: BinIndex>(
+    converted: &NdArray<P>,
+    shape: Vec<usize>,
+    settings: &Settings,
+) -> Result<CompressedArray<P, I>, BlazError> {
+    settings.validate_for_ndim(converted.ndim())?;
+
+    let bt = BlockTransform::<P>::new(settings.transform, &settings.block_shape);
+    let block_len = bt.block_len().max(1);
+    let kept = settings.mask.kept_positions();
+    let k = kept.len();
+    let num_blocks = ceil_div(&shape, &settings.block_shape);
+    let n_blocks = num_elements(&num_blocks);
+    let mut biggest = vec![P::zero(); n_blocks];
+    let mut indices = vec![I::from_i64(0); n_blocks * k];
+
+    let src = converted.as_slice();
+    let s = converted.shape();
+    let bs = &settings.block_shape;
+    // Cover a few thousand elements per piece before fanning out, like
+    // `Blocked::partition`.
+    let min_blocks = (2048 / block_len).max(1);
+    biggest
+        .par_iter_mut()
+        .zip(indices.par_chunks_mut(k))
+        .enumerate()
+        .with_min_len(min_blocks)
+        .for_each_init(
+            || (vec![P::zero(); block_len], vec![P::zero(); block_len]),
+            |(block, scratch), (kb, (n_out, idx_out))| {
+                gather_block(src, s, &num_blocks, bs, kb, block);
+                bt.forward(block, scratch);
+                // `scratch` is free again after the transform; reuse it
+                // for the binning ratios.
+                *n_out = bin_block::<P, I>(block, kept, idx_out, scratch);
+            },
+        );
+
+    Ok(CompressedArray {
+        shape,
+        settings: settings.clone(),
+        biggest,
+        indices,
+    })
+}
+
+/// Steps (d)+(e) for one transformed block: computes `N = ‖C‖∞` and bins
+/// the kept coefficients into `idx_out`. Shared by the fused and staged
+/// compress paths so both emit identical bits.
+///
+/// `ratios` is caller scratch of at least `block.len()` elements (the
+/// fused path reuses the transform's ping-pong buffer). Splitting the
+/// divisions into their own pass over it lets them vectorize — IEEE
+/// division is correctly rounded in both scalar and SIMD form, so the
+/// ratios (and therefore the emitted bins) are unchanged.
+#[inline]
+fn bin_block<P: Real, I: BinIndex>(
+    block: &[P],
+    kept: &[usize],
+    idx_out: &mut [I],
+    ratios: &mut [P],
+) -> P {
+    // N = ‖C‖∞ over the whole block (binning precedes pruning).
+    let mut n = P::zero();
+    for &c in block {
+        n = n.max_val(c.abs());
+    }
+    if n == P::zero() {
+        // All ratios would bin to the center; skip the per-coefficient
+        // zero test and division entirely (`I::bin(0.0)` is exactly 0).
+        for v in idx_out.iter_mut() {
+            *v = I::from_i64(0);
+        }
+    } else if kept.len() == block.len() {
+        // Full mask: kept positions are exactly 0..block_len in order, so
+        // the position indirection drops out (same coefficients, same
+        // order, same bits).
+        for (r, &c) in ratios.iter_mut().zip(block) {
+            *r = c / n;
+        }
+        for (v, &q) in idx_out.iter_mut().zip(ratios.iter()) {
+            *v = I::bin(q.to_f64());
+        }
+    } else {
+        for (slot, &pos) in kept.iter().enumerate() {
+            idx_out[slot] = I::bin((block[pos] / n).to_f64());
+        }
+    }
+    n
+}
+
+/// Steps (b)–(e) on data already in precision `P`, staged through a full
+/// coefficient buffer, which it returns alongside the compressed array
+/// (the error report needs the exact coefficients). The hot no-report path
+/// is [`compress_fused`]; this produces bit-identical output.
 fn compress_converted<P: Real, I: BinIndex>(
     converted: &NdArray<P>,
     shape: Vec<usize>,
@@ -86,33 +192,23 @@ fn compress_converted<P: Real, I: BinIndex>(
     );
 
     // Steps (d)+(e): binning and pruning.
-    let kept = settings.mask.kept_positions().to_vec();
+    let kept = settings.mask.kept_positions();
     let k = kept.len();
     let n_blocks = blocked.block_count();
     let mut biggest = vec![P::zero(); n_blocks];
     let mut indices = vec![I::from_i64(0); n_blocks * k];
 
+    let blocked_ref = &blocked;
     biggest
         .par_iter_mut()
         .zip(indices.par_chunks_mut(k))
         .enumerate()
-        .for_each(|(kb, (n_out, idx_out))| {
-            let block = blocked.block(kb);
-            // N_k = ‖C_k‖∞ over the whole block (binning precedes pruning).
-            let mut n = P::zero();
-            for &c in block {
-                n = n.max_val(c.abs());
-            }
-            *n_out = n;
-            for (slot, &pos) in kept.iter().enumerate() {
-                let q = if n == P::zero() {
-                    0.0
-                } else {
-                    (block[pos] / n).to_f64()
-                };
-                idx_out[slot] = I::bin(q);
-            }
-        });
+        .for_each_init(
+            || vec![P::zero(); block_len],
+            |ratios, (kb, (n_out, idx_out))| {
+                *n_out = bin_block::<P, I>(blocked_ref.block(kb), kept, idx_out, ratios);
+            },
+        );
 
     let compressed = CompressedArray {
         shape,

@@ -2,7 +2,7 @@
 
 use crate::{BinIndex, BlazError, Settings};
 use blazr_precision::Real;
-use blazr_tensor::blocking::Blocked;
+use blazr_tensor::blocking::{scatter_block, Blocked};
 use blazr_tensor::shape::{ceil_div, num_elements};
 use blazr_tensor::NdArray;
 use blazr_transform::BlockTransform;
@@ -85,32 +85,123 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
     pub fn specified_coefficients(&self) -> Blocked<P> {
         let nb = self.num_blocks();
         let mut out = Blocked::<P>::zeros(nb, self.settings.block_shape.clone());
-        let kept = self.settings.mask.kept_positions().to_vec();
+        let kept = self.settings.mask.kept_positions();
+        out.par_blocks_mut()
+            .enumerate()
+            .for_each(|(kb, block)| self.unbin_block(kb, kept, block));
+        out
+    }
+
+    /// Unbins one block's specified coefficients into `block` (zeros at
+    /// pruned positions) — the per-block equivalent of
+    /// [`CompressedArray::specified_coefficients`].
+    #[inline]
+    fn unbin_block(&self, kb: usize, kept: &[usize], block: &mut [P]) {
         let k = kept.len();
-        let indices = &self.indices;
-        let biggest = &self.biggest;
-        out.par_blocks_mut().enumerate().for_each(|(kb, block)| {
-            let n = biggest[kb];
+        let n = self.biggest[kb];
+        if k == block.len() {
+            // Full mask: kept positions are exactly 0..block_len in order,
+            // so no zero-fill or position indirection is needed.
+            let idx = &self.indices[kb * k..(kb + 1) * k];
+            for (b, &f) in block.iter_mut().zip(idx) {
+                *b = P::from_f64(f.unbin()) * n;
+            }
+        } else {
+            block.fill(P::zero());
             for (slot, &pos) in kept.iter().enumerate() {
-                let f = indices[kb * k + slot];
+                let f = self.indices[kb * k + slot];
                 block[pos] = P::from_f64(f.unbin()) * n;
             }
-        });
-        out
+        }
     }
 
     /// Decompresses back to an `f64` array: scale indices by `N`,
     /// unflatten, inverse-transform each block, merge, crop (§III-B).
     pub fn decompress(&self) -> NdArray<f64> {
-        let mut blocked = self.specified_coefficients();
+        self.decompress_values().convert()
+    }
+
+    /// Decompresses into the working precision `P`, fusing unbin → inverse
+    /// transform → block scatter: each block is reconstructed in
+    /// thread-local scratch and its in-bounds region row-copied straight
+    /// into the output, so no `n_blocks × block_len` coefficient buffer is
+    /// materialized.
+    ///
+    /// Work is parallelized over outermost-axis slabs — the contiguous
+    /// output region a row of blocks writes — so writes stay disjoint and
+    /// the result is bit-identical to the staged path
+    /// ([`CompressedArray::specified_coefficients`] → inverse →
+    /// [`Blocked::merge`]) at any thread count. When the leading axis is
+    /// too thin to feed the thread team (few slabs, many blocks each),
+    /// the staged path — parallel per block and per output row — is used
+    /// instead; both paths produce the same bits
+    /// (`tests/fused_pipeline.rs`), so the choice never shows in results.
+    pub fn decompress_values(&self) -> NdArray<P> {
         let bt = BlockTransform::<P>::new(self.settings.transform, &self.settings.block_shape);
-        let block_len = bt.block_len();
+        let block_len = bt.block_len().max(1);
+        let kept = self.settings.mask.kept_positions();
+        let nb = self.num_blocks();
+        let d = self.shape.len();
+
+        if d == 0 {
+            let mut out = NdArray::<P>::full(self.shape.clone(), P::zero());
+            let mut block = vec![P::zero(); block_len];
+            let mut scratch = vec![P::zero(); block_len];
+            self.unbin_block(0, kept, &mut block);
+            bt.inverse(&mut block, &mut scratch);
+            out.as_mut_slice()[0] = block[0];
+            return out;
+        }
+
+        let blocks_per_slab = nb[1..].iter().product::<usize>();
+        if nb[0] < rayon::current_num_threads() && blocks_per_slab > 1 {
+            // Thin leading axis: slab parallelism would idle most of the
+            // team, so take the staged per-block/per-row parallel path.
+            return self.decompress_values_staged(&bt);
+        }
+
+        let mut out = NdArray::<P>::full(self.shape.clone(), P::zero());
+        if out.is_empty() {
+            return out;
+        }
+
+        // One slab = all output rows covered by blocks sharing the first
+        // block coordinate: `bs[0]` leading-axis layers (fewer at a ragged
+        // tail), each a contiguous `Π s[1..]` span.
+        let slab_len = self.settings.block_shape[0] * self.shape[1..].iter().product::<usize>();
+        let shape = &self.shape;
+        let bs = &self.settings.block_shape;
+        let min_slabs = (2048 / slab_len.max(1)).max(1);
+        out.as_mut_slice()
+            .par_chunks_mut(slab_len)
+            .enumerate()
+            .with_min_len(min_slabs)
+            .for_each_init(
+                || (vec![P::zero(); block_len], vec![P::zero(); block_len]),
+                |(block, scratch), (j0, slab)| {
+                    let slab_start = j0 * slab_len;
+                    for kb in j0 * blocks_per_slab..(j0 + 1) * blocks_per_slab {
+                        self.unbin_block(kb, kept, block);
+                        bt.inverse(block, scratch);
+                        scatter_block(block, shape, &nb, bs, kb, slab, slab_start);
+                    }
+                },
+            );
+        out
+    }
+
+    /// The staged decompression pipeline: materialize the specified
+    /// coefficients, inverse-transform blocks in parallel, then merge
+    /// (row-parallel). Slower than the fused path on wide arrays but
+    /// parallel in the block count rather than the leading-axis extent.
+    fn decompress_values_staged(&self, bt: &BlockTransform<P>) -> NdArray<P> {
+        let mut blocked = self.specified_coefficients();
+        let block_len = bt.block_len().max(1);
         blocked.par_blocks_mut().for_each_init(
             || vec![P::zero(); block_len],
             |scratch, block| bt.inverse(block, scratch),
         );
-        let merged = blocked.merge(&self.shape);
-        merged.convert()
+        blocked.merge(&self.shape)
     }
 
     /// Checks binary-operation compatibility (Table I operations require

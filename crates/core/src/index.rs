@@ -116,7 +116,7 @@ pub trait BinIndex: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
             return Self::from_i64(0);
         }
         let r = Self::radius_f64();
-        let v = (q * r).round().clamp(-r, r);
+        let v = round_half_away(q * r).clamp(-r, r);
         // `as` saturates; the integer clamp keeps the i64 radius edge case
         // (where `r as f64` rounds up to 2^63) inside [−r, r].
         let ri = Self::radius_i64();
@@ -126,6 +126,31 @@ pub trait BinIndex: Copy + PartialEq + std::fmt::Debug + Send + Sync + 'static {
     /// The reconstruction ratio `q = F / r ∈ [−1, 1]`.
     fn unbin(self) -> f64 {
         self.to_i64() as f64 / Self::radius_f64()
+    }
+}
+
+/// `f64::round` (half away from zero) without the libm call.
+///
+/// Below 2^53 every f64 has `ulp ≤ 1`, so truncation via `as i64` (and
+/// back) is exact and the fractional part `x - trunc(x)` is exactly
+/// representable; the select-based half-away adjustment then reproduces
+/// `round` bit for bit (up to the sign of a zero result, which the
+/// integer cast in [`BinIndex::bin`] erases). At or beyond 2^53 —
+/// reachable only through the i64 radius — floats are already integral
+/// and `f64::round` handles them (and ±∞).
+#[inline]
+fn round_half_away(x: f64) -> f64 {
+    const INT_EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
+    if x.abs() < INT_EXACT {
+        let t = x as i64 as f64;
+        let f = x - t;
+        // Select arithmetic, not branches: the fraction's side of 0.5 is
+        // effectively random in the binning loop and would mispredict.
+        let up = (f >= 0.5) as u8 as f64;
+        let down = (f <= -0.5) as u8 as f64;
+        t + up - down
+    } else {
+        x.round()
     }
 }
 
@@ -234,5 +259,89 @@ mod tests {
         let v = <i64 as BinIndex>::bin(1.0);
         assert!(v > 0);
         assert_eq!(<i64 as BinIndex>::bin(-1.0), -v);
+    }
+
+    #[test]
+    fn round_half_away_matches_f64_round() {
+        // Dense sweep plus the exact .5 boundaries and their neighbours,
+        // where a naive `trunc(x + 0.5)` rewrite would diverge.
+        let mut probes: Vec<f64> = Vec::new();
+        for t in -4000..=4000 {
+            probes.push(t as f64 / 16.0); // hits k + {0, .25, .5, .75} exactly
+        }
+        for k in 0..200 {
+            let half = k as f64 + 0.5;
+            for v in [half, -half] {
+                probes.push(v);
+                let mut lo = v;
+                let mut hi = v;
+                for _ in 0..2 {
+                    lo = f64::from_bits(if lo > 0.0 {
+                        lo.to_bits() - 1
+                    } else {
+                        lo.to_bits() + 1
+                    });
+                    hi = f64::from_bits(if hi > 0.0 {
+                        hi.to_bits() + 1
+                    } else {
+                        hi.to_bits() - 1
+                    });
+                    probes.push(lo);
+                    probes.push(hi);
+                }
+            }
+        }
+        // The largest double below 0.5 — the classic x + 0.5 == 1.0 trap.
+        probes.push(0.49999999999999994);
+        probes.push(-0.49999999999999994);
+        // Values around and beyond the integer-exact threshold.
+        for v in [
+            2f64.powi(52) - 1.5,
+            2f64.powi(52),
+            2f64.powi(53) - 0.5,
+            2f64.powi(53),
+            2f64.powi(60),
+            f64::INFINITY,
+        ] {
+            probes.push(v);
+            probes.push(-v);
+        }
+        for &x in &probes {
+            let got = round_half_away(x);
+            let want = x.round();
+            // ±0.0 may differ in sign (invisible to the integer cast in
+            // `bin`); everything else must match bit for bit.
+            if want == 0.0 {
+                assert_eq!(got, 0.0, "x = {x:e}");
+            } else {
+                assert_eq!(got.to_bits(), want.to_bits(), "x = {x:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_matches_round_based_reference_densely() {
+        // The emitted index must equal the original `round()`-based
+        // formula everywhere, including far out of range.
+        fn reference<I: BinIndex>(q: f64) -> I {
+            if q.is_nan() {
+                return I::from_i64(0);
+            }
+            let r = I::radius_f64();
+            let v = (q * r).round().clamp(-r, r);
+            let ri = I::radius_i64();
+            I::from_i64((v as i64).clamp(-ri, ri))
+        }
+        for t in -30000..=30000 {
+            let q = t as f64 / 10007.0;
+            assert_eq!(<i8 as BinIndex>::bin(q), reference::<i8>(q), "q = {q}");
+            assert_eq!(<i16 as BinIndex>::bin(q), reference::<i16>(q), "q = {q}");
+            assert_eq!(<i32 as BinIndex>::bin(q), reference::<i32>(q), "q = {q}");
+            assert_eq!(<i64 as BinIndex>::bin(q), reference::<i64>(q), "q = {q}");
+        }
+        for q in [f64::INFINITY, f64::NEG_INFINITY, 1e300, -1e300] {
+            assert_eq!(<i64 as BinIndex>::bin(q), reference::<i64>(q), "q = {q}");
+            assert_eq!(<i8 as BinIndex>::bin(q), reference::<i8>(q), "q = {q}");
+        }
     }
 }

@@ -181,7 +181,13 @@ impl<T: Copy + Default + Send + Sync> Blocked<T> {
 }
 
 /// Copies one block out of `src` (shape `s`), default-filling padding.
-fn gather_block<T: Copy + Default>(
+///
+/// `num_blocks` must equal `ceil_div(s, bs)` and `out` must hold
+/// `Π bs` elements. Rows along the contiguous last axis move with
+/// `copy_from_slice`; this is the per-block gather both
+/// [`Blocked::partition`] and the fused codec pipeline in `blazr-core`
+/// build on.
+pub fn gather_block<T: Copy + Default>(
     src: &[T],
     s: &[usize],
     num_blocks: &[usize],
@@ -228,6 +234,63 @@ fn gather_block<T: Copy + Default>(
             }
         }
         out_off += inner;
+        if row_dims.is_empty() || !advance(&mut t, row_dims) {
+            break;
+        }
+    }
+}
+
+/// Copies one block's in-bounds region into a row-major destination,
+/// cropping padding — the write-side inverse of [`gather_block`].
+///
+/// `dst` is the sub-slice of the full shape-`s` array starting at flat
+/// offset `dst_start` (pass the whole slice and `0` to scatter into a full
+/// array). The caller must ensure the block's in-bounds region lies inside
+/// `dst`; the fused decompress path in `blazr-core` exploits this to hand
+/// disjoint outer-axis slabs to parallel workers. Rows along the
+/// contiguous last axis move with `copy_from_slice`.
+pub fn scatter_block<T: Copy>(
+    block: &[T],
+    s: &[usize],
+    num_blocks: &[usize],
+    bs: &[usize],
+    kb: usize,
+    dst: &mut [T],
+    dst_start: usize,
+) {
+    let d = s.len();
+    if d == 0 {
+        dst[0] = block[0];
+        return;
+    }
+    let kidx = unravel(kb, num_blocks);
+    let base: Vec<usize> = kidx.iter().zip(bs).map(|(&k, &b)| k * b).collect();
+    let strides = crate::shape::strides_row_major(s);
+
+    let row_dims = &bs[..d - 1];
+    let inner = bs[d - 1];
+    let valid_inner = s[d - 1].saturating_sub(base[d - 1]).min(inner);
+    if valid_inner == 0 {
+        return; // the whole block is last-axis padding
+    }
+    let mut t = vec![0usize; d - 1];
+    let mut blk_off = 0;
+    loop {
+        let mut in_bounds = true;
+        let mut out_off = base[d - 1];
+        for k in 0..d - 1 {
+            let pos = base[k] + t[k];
+            if pos >= s[k] {
+                in_bounds = false;
+                break;
+            }
+            out_off += pos * strides[k];
+        }
+        if in_bounds {
+            dst[out_off - dst_start..out_off - dst_start + valid_inner]
+                .copy_from_slice(&block[blk_off..blk_off + valid_inner]);
+        }
+        blk_off += inner;
         if row_dims.is_empty() || !advance(&mut t, row_dims) {
             break;
         }
@@ -330,5 +393,54 @@ mod tests {
         let blocked = Blocked::partition(&a, &[]);
         assert_eq!(blocked.block_count(), 1);
         assert_eq!(blocked.merge(&[]), a);
+    }
+
+    #[test]
+    fn scatter_block_inverts_gather_block() {
+        for shape in [vec![10], vec![6, 10], vec![3, 5, 6]] {
+            let bs: Vec<usize> = shape.iter().map(|_| 4).collect();
+            let a = ramp(shape.clone());
+            let nb = crate::shape::ceil_div(&shape, &bs);
+            let block_len = num_elements(&bs);
+            let n_blocks = num_elements(&nb);
+            let mut out = NdArray::full(shape.clone(), 0.0f64);
+            let mut block = vec![0.0f64; block_len];
+            for kb in 0..n_blocks {
+                gather_block(a.as_slice(), &shape, &nb, &bs, kb, &mut block);
+                scatter_block(&block, &shape, &nb, &bs, kb, out.as_mut_slice(), 0);
+            }
+            assert_eq!(out, a, "shape {shape:?}");
+        }
+    }
+
+    #[test]
+    fn scatter_block_with_slab_offset() {
+        // Scattering into an outer-axis slab (the fused decompress layout):
+        // block row 1 of a 6×10 array with 4×4 blocks covers rows 4..6.
+        let a = ramp(vec![6, 10]);
+        let nb = crate::shape::ceil_div(&[6, 10], &[4, 4]);
+        let blocked = Blocked::partition(&a, &[4, 4]);
+        let slab_start = 4 * 10; // flat offset of row 4
+        let mut slab = vec![0.0f64; 2 * 10];
+        for j in 0..nb[1] {
+            let kb = nb[1] + j; // block row 1
+            scatter_block(
+                blocked.block(kb),
+                &[6, 10],
+                &nb,
+                &[4, 4],
+                kb,
+                &mut slab,
+                slab_start,
+            );
+        }
+        assert_eq!(&slab, &a.as_slice()[slab_start..]);
+    }
+
+    #[test]
+    fn scatter_block_scalar() {
+        let mut out = [0.0f64];
+        scatter_block(&[7.5], &[], &[], &[], 0, &mut out, 0);
+        assert_eq!(out[0], 7.5);
     }
 }

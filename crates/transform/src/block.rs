@@ -11,25 +11,207 @@ use blazr_precision::Real;
 
 /// A reusable separable transform for one block shape.
 ///
-/// Construction builds (and rounds into `P`) one basis matrix per axis.
-/// [`BlockTransform::forward`] and [`BlockTransform::inverse`] then operate
-/// in place on block-length slices using a caller-provided scratch buffer,
-/// so the per-block hot path allocates nothing.
+/// Construction builds (and rounds into `P`) one basis matrix per axis and
+/// compiles each into a pair of [`AxisKernel`] plans — output-major weight
+/// layouts plus nonzero-index lists for sparse bases — so the per-block
+/// hot path is pure slice arithmetic with no index math or weight-zero
+/// branches. [`BlockTransform::forward`] and [`BlockTransform::inverse`]
+/// operate in place on block-length slices using a caller-provided scratch
+/// buffer; nothing allocates per block.
+///
+/// The kernels accumulate each output coefficient over source index `from`
+/// in ascending order, starting from zero and skipping exactly the weights
+/// equal to zero — the same floating-point operation sequence as the naive
+/// triple loop — so results are bit-identical to the reference contraction
+/// in any precision `P` and at any thread count.
 #[derive(Debug, Clone)]
 pub struct BlockTransform<P> {
     shape: Vec<usize>,
-    mats: Vec<Matrix<P>>,
+    axes: Vec<AxisKernel<P>>,
     block_len: usize,
 }
 
+/// Per-axis kernel plan: geometry plus one compiled weight layout per
+/// direction.
+#[derive(Debug, Clone)]
+struct AxisKernel<P> {
+    n: usize,
+    /// Product of extents before this axis.
+    outer: usize,
+    /// Product of extents after this axis (1 ⇒ the contiguous last axis).
+    inner: usize,
+    fwd: DirKernel<P>,
+    inv: DirKernel<P>,
+}
+
+/// One direction of a 1-D contraction with a precompiled weight layout.
+///
+/// Both variants start every output at zero and accumulate its terms over
+/// the source index `from` in ascending order, adding exactly the nonzero
+/// weights — the same floating-point operation sequence as the naive
+/// triple loop, so results are bit-identical to it. For sparse bases
+/// (Haar, identity) the zero-weight terms are compiled out into CSR-style
+/// nonzero lists instead of being branch-skipped per element; `dense`
+/// marks matrices with no zero entries at all (DCT, Walsh–Hadamard),
+/// which take a list-free path.
+#[derive(Debug, Clone)]
+struct DirKernel<P> {
+    /// Row-major weights; which index is row-contiguous depends on the
+    /// variant ([`DirKernel::compile_output_major`] vs
+    /// [`DirKernel::compile_source_major`]).
+    weights: Vec<P>,
+    dense: bool,
+    /// CSR layout over `weights`' major index: row `r`'s nonzero minor
+    /// indices (ascending) and weights sit at
+    /// `nz_idx/nz_w[nz_starts[r]..nz_starts[r + 1]]`.
+    nz_starts: Vec<u32>,
+    nz_idx: Vec<u32>,
+    nz_w: Vec<P>,
+}
+
+impl<P: Real> DirKernel<P> {
+    /// Compiles weights with major index `r` and minor index `c` mapped
+    /// through `w(r, c)`.
+    fn compile(n: usize, w: impl Fn(usize, usize) -> P) -> Self {
+        let mut weights = Vec::with_capacity(n * n);
+        let mut nz_starts = Vec::with_capacity(n + 1);
+        let mut nz_idx = Vec::new();
+        let mut nz_w = Vec::new();
+        nz_starts.push(0u32);
+        for r in 0..n {
+            for c in 0..n {
+                let v = w(r, c);
+                weights.push(v);
+                // Exactly the reference loop's skip test, so the compiled
+                // nonzero set matches the terms the naive kernel adds.
+                if v != P::zero() {
+                    nz_idx.push(c as u32);
+                    nz_w.push(v);
+                }
+            }
+            nz_starts.push(nz_idx.len() as u32);
+        }
+        let dense = nz_idx.len() == n * n;
+        Self {
+            weights,
+            dense,
+            nz_starts,
+            nz_idx,
+            nz_w,
+        }
+    }
+
+    /// Output-major layout for interior axes (`inner > 1`):
+    /// `weights[to * n + from]`, CSR rows keyed by `to` listing `from`.
+    fn compile_output_major(n: usize, w: impl Fn(usize, usize) -> P) -> Self {
+        Self::compile(n, w)
+    }
+
+    /// Source-major layout for the last axis (`inner == 1`):
+    /// `weights[from * n + to]`, CSR rows keyed by `from` listing `to`.
+    fn compile_source_major(n: usize, w: impl Fn(usize, usize) -> P) -> Self {
+        Self::compile(n, |from, to| w(to, from))
+    }
+
+    /// Interior-axis kernel (`inner > 1`), on an output-major compile:
+    /// each output row of `inner` lanes is zeroed once and accumulated
+    /// from its source rows with `copy`-free row-slice arithmetic, so the
+    /// row stays in registers across the `from` loop.
+    fn contract_rows(&self, src: &[P], dst: &mut [P], n: usize, outer: usize, inner: usize) {
+        for o in 0..outer {
+            let base = o * n * inner;
+            let panel = &src[base..base + n * inner];
+            for to in 0..n {
+                let dst_row = &mut dst[base + to * inner..base + (to + 1) * inner];
+                dst_row.fill(P::zero());
+                if self.dense {
+                    let wrow = &self.weights[to * n..(to + 1) * n];
+                    for (from, &w) in wrow.iter().enumerate() {
+                        let src_row = &panel[from * inner..(from + 1) * inner];
+                        for (dv, &sv) in dst_row.iter_mut().zip(src_row) {
+                            *dv = *dv + sv * w;
+                        }
+                    }
+                } else {
+                    let (lo, hi) = (self.nz_starts[to] as usize, self.nz_starts[to + 1] as usize);
+                    for (&from, &w) in self.nz_idx[lo..hi].iter().zip(&self.nz_w[lo..hi]) {
+                        let from = from as usize;
+                        let src_row = &panel[from * inner..(from + 1) * inner];
+                        for (dv, &sv) in dst_row.iter_mut().zip(src_row) {
+                            *dv = *dv + sv * w;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Last-axis mat-vec kernel (`inner == 1`), on a source-major compile:
+    /// the whole `n`-coefficient output vector accumulates at once — one
+    /// axpy of a contiguous weight row per source lane — so every output
+    /// coefficient advances through the same ascending-`from` sum the
+    /// reference computes, in vector-friendly unit-stride steps.
+    fn contract_axpy(&self, src: &[P], dst: &mut [P], n: usize, outer: usize) {
+        for o in 0..outer {
+            let sv = &src[o * n..(o + 1) * n];
+            let dv = &mut dst[o * n..(o + 1) * n];
+            dv.fill(P::zero());
+            if self.dense {
+                for (from, &s) in sv.iter().enumerate() {
+                    let wrow = &self.weights[from * n..(from + 1) * n];
+                    for (d, &w) in dv.iter_mut().zip(wrow) {
+                        *d = *d + s * w;
+                    }
+                }
+            } else {
+                for (from, &s) in sv.iter().enumerate() {
+                    let (lo, hi) = (
+                        self.nz_starts[from] as usize,
+                        self.nz_starts[from + 1] as usize,
+                    );
+                    for (&to, &w) in self.nz_idx[lo..hi].iter().zip(&self.nz_w[lo..hi]) {
+                        dv[to as usize] = dv[to as usize] + s * w;
+                    }
+                }
+            }
+        }
+    }
+}
+
 impl<P: Real> BlockTransform<P> {
-    /// Builds the per-axis matrices for `kind` over `block_shape`.
+    /// Builds and compiles the per-axis kernel plans for `kind` over
+    /// `block_shape`.
     pub fn new(kind: TransformKind, block_shape: &[usize]) -> Self {
-        let mats = block_shape.iter().map(|&n| kind.matrix::<P>(n)).collect();
+        let d = block_shape.len();
+        let mut axes = Vec::with_capacity(d);
+        for (axis, &n) in block_shape.iter().enumerate() {
+            let mat: Matrix<P> = kind.matrix(n);
+            let inner: usize = block_shape[axis + 1..].iter().product();
+            // Forward contracts data against basis columns
+            // (`c_to = Σ_from b_from · H[from][to]`), inverse against rows.
+            let (fwd, inv) = if inner == 1 {
+                (
+                    DirKernel::compile_source_major(n, |to, from| mat.entry(from, to)),
+                    DirKernel::compile_source_major(n, |to, from| mat.entry(to, from)),
+                )
+            } else {
+                (
+                    DirKernel::compile_output_major(n, |to, from| mat.entry(from, to)),
+                    DirKernel::compile_output_major(n, |to, from| mat.entry(to, from)),
+                )
+            };
+            axes.push(AxisKernel {
+                n,
+                outer: block_shape[..axis].iter().product(),
+                inner,
+                fwd,
+                inv,
+            });
+        }
         let block_len = block_shape.iter().product();
         Self {
             shape: block_shape.to_vec(),
-            mats,
+            axes,
             block_len,
         }
     }
@@ -64,57 +246,22 @@ impl<P: Real> BlockTransform<P> {
             return;
         }
         let mut in_data = true; // current contents live in `data`
-        for axis in 0..d {
+        for ax in &self.axes {
             let (src, dst): (&[P], &mut [P]) = if in_data {
                 (&data[..self.block_len], &mut scratch[..self.block_len])
             } else {
                 (&scratch[..self.block_len], &mut data[..self.block_len])
             };
-            contract_axis(src, dst, &self.shape, axis, &self.mats[axis], inverse);
+            let kernel = if inverse { &ax.inv } else { &ax.fwd };
+            if ax.inner == 1 {
+                kernel.contract_axpy(src, dst, ax.n, ax.outer);
+            } else {
+                kernel.contract_rows(src, dst, ax.n, ax.outer, ax.inner);
+            }
             in_data = !in_data;
         }
         if !in_data {
             data[..self.block_len].copy_from_slice(&scratch[..self.block_len]);
-        }
-    }
-}
-
-/// Contracts one axis of `src` against the basis matrix, writing `dst`.
-///
-/// Forward: `dst[…,k,…] = Σ_n src[…,n,…]·H[n][k]` (basis columns).
-/// Inverse: `dst[…,n,…] = Σ_k src[…,k,…]·H[n][k]` (basis rows).
-fn contract_axis<P: Real>(
-    src: &[P],
-    dst: &mut [P],
-    shape: &[usize],
-    axis: usize,
-    mat: &Matrix<P>,
-    inverse: bool,
-) {
-    let n = shape[axis];
-    let outer: usize = shape[..axis].iter().product();
-    let inner: usize = shape[axis + 1..].iter().product();
-    for v in dst.iter_mut() {
-        *v = P::zero();
-    }
-    for o in 0..outer {
-        let base = o * n * inner;
-        for from in 0..n {
-            let src_row = &src[base + from * inner..base + (from + 1) * inner];
-            for to in 0..n {
-                let w = if inverse {
-                    mat.entry(to, from)
-                } else {
-                    mat.entry(from, to)
-                };
-                if w == P::zero() {
-                    continue; // sparse bases (Haar, identity) skip most work
-                }
-                let dst_row = &mut dst[base + to * inner..base + (to + 1) * inner];
-                for (dv, &sv) in dst_row.iter_mut().zip(src_row) {
-                    *dv = *dv + sv * w;
-                }
-            }
         }
     }
 }

@@ -1,0 +1,244 @@
+//! The fused codec pipeline must be bit-identical to the staged reference
+//! built from public primitives.
+//!
+//! `compress` gathers, transforms, and bins each block in thread-local
+//! scratch without materializing the blocked coefficient buffer, and
+//! `decompress` mirrors it (unbin → inverse transform → block scatter).
+//! These tests rebuild both directions the slow way —
+//! [`Blocked::partition`] → [`BlockTransform::forward`] → per-coefficient
+//! binning, and [`CompressedArray::specified_coefficients`] →
+//! [`BlockTransform::inverse`] → [`Blocked::merge`] → convert — and demand
+//! byte-for-byte agreement across block-multiple, padded-tail, 1-D/2-D/3-D,
+//! pruned-mask, and Haar/identity/Walsh–Hadamard configurations, at 1, 2,
+//! 4, and 8 threads.
+
+use blazr::{
+    compress, BinIndex, CompressedArray, PruningMask, Settings, StorableReal, TransformKind,
+};
+use blazr_tensor::blocking::Blocked;
+use blazr_tensor::NdArray;
+use blazr_transform::BlockTransform;
+use blazr_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+/// Runs `op` under an explicitly sized thread pool.
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+/// Staged reference for steps (a)–(e), written against the public
+/// primitives with the original per-coefficient binning formula: convert,
+/// partition, forward-transform every block, then bin `q = c / N` (zero
+/// when `N` is) coefficient by coefficient.
+fn staged_compress<P: StorableReal, I: BinIndex>(
+    a: &NdArray<f64>,
+    settings: &Settings,
+) -> (Vec<u64>, Vec<i64>) {
+    let converted: NdArray<P> = a.convert();
+    let mut blocked = Blocked::partition(&converted, &settings.block_shape);
+    let bt = BlockTransform::<P>::new(settings.transform, &settings.block_shape);
+    let block_len = bt.block_len().max(1);
+    let mut scratch = vec![P::zero(); block_len];
+    for kb in 0..blocked.block_count() {
+        bt.forward(blocked.block_mut(kb), &mut scratch);
+    }
+    let kept = settings.mask.kept_positions();
+    let mut biggest = Vec::new();
+    let mut indices = Vec::new();
+    for kb in 0..blocked.block_count() {
+        let block = blocked.block(kb);
+        let mut n = P::zero();
+        for &c in block {
+            n = n.max_val(c.abs());
+        }
+        biggest.push(n.to_bits_u64());
+        for &pos in kept {
+            let q = if n == P::zero() {
+                0.0
+            } else {
+                (block[pos] / n).to_f64()
+            };
+            indices.push(I::bin(q).to_i64());
+        }
+    }
+    (biggest, indices)
+}
+
+/// Staged reference for decompression: unflatten the specified
+/// coefficients, inverse-transform every block, merge, convert.
+fn staged_decompress<P: StorableReal, I: BinIndex>(c: &CompressedArray<P, I>) -> Vec<u64> {
+    let mut blocked = c.specified_coefficients();
+    let bt = BlockTransform::<P>::new(c.settings().transform, c.block_shape());
+    let block_len = bt.block_len().max(1);
+    let mut scratch = vec![P::zero(); block_len];
+    for kb in 0..blocked.block_count() {
+        bt.inverse(blocked.block_mut(kb), &mut scratch);
+    }
+    let merged: NdArray<P> = blocked.merge(c.shape());
+    let out: NdArray<f64> = merged.convert();
+    out.as_slice().iter().map(|x| x.to_bits()).collect()
+}
+
+/// Compressed payload of the fused path, as comparable bit vectors.
+fn fused_compress<P: StorableReal, I: BinIndex>(
+    a: &NdArray<f64>,
+    settings: &Settings,
+) -> (Vec<u64>, Vec<i64>) {
+    let c = compress::<P, I>(a, settings).unwrap();
+    (
+        c.biggest().iter().map(|&n| n.to_bits_u64()).collect(),
+        c.indices().iter().map(|&f| f.to_i64()).collect(),
+    )
+}
+
+/// Asserts fused == staged for both directions, at every thread count.
+fn assert_fused_matches_staged<P: StorableReal, I: BinIndex>(
+    a: &NdArray<f64>,
+    settings: &Settings,
+    label: &str,
+) {
+    let reference = with_threads(1, || staged_compress::<P, I>(a, settings));
+    let c = with_threads(1, || compress::<P, I>(a, settings).unwrap());
+    let ref_decompressed = with_threads(1, || staged_decompress(&c));
+    for threads in [1usize, 2, 4, 8] {
+        let fused = with_threads(threads, || fused_compress::<P, I>(a, settings));
+        assert_eq!(
+            fused.0, reference.0,
+            "{label}: biggest diverged at {threads} threads"
+        );
+        assert_eq!(
+            fused.1, reference.1,
+            "{label}: indices diverged at {threads} threads"
+        );
+        let decompressed = with_threads(threads, || c.decompress());
+        let bits: Vec<u64> = decompressed
+            .as_slice()
+            .iter()
+            .map(|x| x.to_bits())
+            .collect();
+        assert_eq!(
+            bits, ref_decompressed,
+            "{label}: decompressed values diverged at {threads} threads"
+        );
+    }
+}
+
+fn random_array(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    NdArray::from_fn(shape, |_| rng.uniform_in(-1.0, 1.0))
+}
+
+/// Strategy: a (shape, block shape) pair covering block-multiple and
+/// padded-tail geometries in 1-D, 2-D, and 3-D.
+fn geometry() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    prop_oneof![
+        // 1-D, exact block multiples.
+        (1usize..8).prop_map(|m| (vec![m * 8], vec![8])),
+        // 1-D with a padded tail.
+        (2usize..40).prop_map(|len| (vec![len], vec![8])),
+        // 2-D, padded or exact.
+        (2usize..20, 2usize..20).prop_map(|(r, c)| (vec![r, c], vec![4, 4])),
+        // 3-D with ragged extents against a non-hypercubic block.
+        (1usize..6, 1usize..7, 1usize..10).prop_map(|(x, y, z)| (vec![x, y, z], vec![2, 4, 4])),
+    ]
+}
+
+fn transform_kind() -> impl Strategy<Value = TransformKind> {
+    prop_oneof![
+        Just(TransformKind::Dct),
+        Just(TransformKind::Haar),
+        Just(TransformKind::Identity),
+        Just(TransformKind::WalshHadamard),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The fused f32/i16 pipeline matches the staged reference bit for bit
+    /// over arbitrary geometry, transform, and data, at 1/2/4/8 threads.
+    #[test]
+    fn fused_equals_staged_f32_i16(
+        geom in geometry(),
+        kind in transform_kind(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (shape, bs) = geom;
+        let settings = Settings::new(bs).unwrap().with_transform(kind);
+        let a = random_array(shape, seed);
+        assert_fused_matches_staged::<f32, i16>(&a, &settings, "f32/i16");
+    }
+
+    /// Same equivalence under a pruning mask (non-full kept set exercises
+    /// the indirected binning/unbinning paths).
+    #[test]
+    fn fused_equals_staged_with_pruning(
+        rows in 2usize..24,
+        cols in 2usize..24,
+        kept in 1usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let mask = PruningMask::keep_lowest_frequencies(&[4, 4], kept).unwrap();
+        let settings = Settings::new(vec![4, 4]).unwrap().with_mask(mask).unwrap();
+        let a = random_array(vec![rows, cols], seed);
+        assert_fused_matches_staged::<f32, i16>(&a, &settings, "pruned f32/i16");
+    }
+
+    /// Other precision/index pairings take the same fused code path; spot
+    /// them with a narrower case budget.
+    #[test]
+    fn fused_equals_staged_other_types(
+        geom in geometry(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (shape, bs) = geom;
+        let settings = Settings::new(bs).unwrap();
+        let a = random_array(shape, seed);
+        assert_fused_matches_staged::<f64, i8>(&a, &settings, "f64/i8");
+        assert_fused_matches_staged::<blazr::F16, i32>(&a, &settings, "f16/i32");
+    }
+}
+
+#[test]
+fn fused_equals_staged_zero_and_constant_arrays() {
+    // All-zero blocks hit the N == 0 fast path; constant blocks confine
+    // energy to the DC coefficient.
+    let settings = Settings::new(vec![4, 4]).unwrap();
+    let zero = NdArray::<f64>::zeros(vec![9, 7]);
+    assert_fused_matches_staged::<f32, i16>(&zero, &settings, "zeros");
+    let constant = NdArray::full(vec![9, 7], 3.25f64);
+    assert_fused_matches_staged::<f32, i16>(&constant, &settings, "constant");
+}
+
+#[test]
+fn fused_equals_staged_scalar_array() {
+    let settings = Settings::new(vec![]).unwrap();
+    let a = NdArray::from_vec(vec![], vec![0.375f64]);
+    assert_fused_matches_staged::<f32, i16>(&a, &settings, "scalar");
+}
+
+#[test]
+fn decompress_values_matches_staged_merge_in_working_precision() {
+    // `decompress_values` exposes the fused path's P-precision output; it
+    // must equal the staged merge before the final f64 conversion.
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let a = random_array(vec![30, 22], 11);
+    let c = compress::<f32, i16>(&a, &settings).unwrap();
+    let mut blocked = c.specified_coefficients();
+    let bt = BlockTransform::<f32>::new(settings.transform, &settings.block_shape);
+    let mut scratch = vec![0.0f32; bt.block_len()];
+    for kb in 0..blocked.block_count() {
+        bt.inverse(blocked.block_mut(kb), &mut scratch);
+    }
+    let merged: NdArray<f32> = blocked.merge(c.shape());
+    for threads in [1usize, 2, 4, 8] {
+        let fused = with_threads(threads, || c.decompress_values());
+        let fused_bits: Vec<u32> = fused.as_slice().iter().map(|x| x.to_bits()).collect();
+        let ref_bits: Vec<u32> = merged.as_slice().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(fused_bits, ref_bits, "threads {threads}");
+    }
+}

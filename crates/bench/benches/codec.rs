@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks for the core codec: compression and
-//! decompression across array sizes, precisions, and index widths.
+//! decompression across array sizes, precisions, and index widths, and
+//! the fixed-width vs rANS serialization layouts.
 
-use blazr::{compress, CompressedArray, Settings};
+use blazr::{compress, Coder, CompressedArray, Settings};
 use blazr_precision::F16;
 use blazr_tensor::NdArray;
 use blazr_util::rng::Xoshiro256pp;
@@ -73,11 +74,41 @@ fn bench_serialization(c: &mut Criterion) {
     g.finish();
 }
 
+/// A smooth field so the bin histogram is skewed and the rANS coder
+/// does real entropy-coding work (random data would degenerate to the
+/// fixed-width fallback regime).
+fn smooth_2d(n: usize) -> NdArray<f64> {
+    NdArray::from_fn(vec![n, n], |ix| {
+        (ix[0] as f64 * 0.013).sin() + (ix[1] as f64 * 0.017).cos()
+    })
+}
+
+fn bench_coders(c: &mut Criterion) {
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let n = 1024usize;
+    let a = smooth_2d(n);
+    let compressed: CompressedArray<f32, i16> = compress(&a, &settings).unwrap();
+    let mut g = c.benchmark_group("serialize/coder");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((n * n) as u64));
+    for coder in Coder::ALL {
+        let bytes = compressed.to_bytes_with(coder);
+        g.bench_function(BenchmarkId::new("to_bytes", coder), |b| {
+            b.iter(|| compressed.to_bytes_with(coder));
+        });
+        g.bench_function(BenchmarkId::new("from_bytes", coder), |b| {
+            b.iter(|| CompressedArray::<f32, i16>::from_bytes(&bytes).unwrap());
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_compress_sizes,
     bench_decompress_sizes,
     bench_precisions,
-    bench_serialization
+    bench_serialization,
+    bench_coders
 );
 criterion_main!(benches);

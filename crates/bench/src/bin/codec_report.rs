@@ -1,0 +1,180 @@
+//! Entropy-coding report: fixed-width vs rANS serialized sizes on the
+//! dataset fields, plus serialize/deserialize throughput at 1024².
+//!
+//! Prints one `ratio field=… fixed=… rans=… win=…%` line per field (CI
+//! greps these into the job summary), writes the machine-readable
+//! `crates/bench/BENCH_codec.json`, and exits non-zero if the rANS
+//! stream is ever larger than the fixed-width baseline — the regression
+//! gate for the coder's size estimate.
+//!
+//! ```text
+//! cargo run --release -p blazr-bench --bin codec_report
+//! ```
+
+use blazr::{compress, Coder, CompressedArray, Settings};
+use blazr_datasets::fission::{series, FissionConfig};
+use blazr_datasets::gradient::gradient;
+use blazr_datasets::mri::MriDataset;
+use blazr_datasets::shallow_water::{ShallowWater, SwConfig};
+use blazr_tensor::NdArray;
+use std::time::Instant;
+
+struct Row {
+    field: &'static str,
+    elements: usize,
+    fixed_bytes: usize,
+    rans_bytes: usize,
+    auto_coder: Coder,
+}
+
+impl Row {
+    /// Percent size reduction of rANS against fixed-width.
+    fn win(&self) -> f64 {
+        100.0 * (1.0 - self.rans_bytes as f64 / self.fixed_bytes as f64)
+    }
+}
+
+fn measure(field: &'static str, a: &NdArray<f64>, block: Vec<usize>) -> Row {
+    let settings = Settings::new(block).unwrap();
+    let c = compress::<f32, i16>(a, &settings).unwrap();
+    let fixed = c.to_bytes_with(Coder::FixedWidth);
+    let rans = c.to_bytes_with(Coder::Rans);
+    // Both layouts must decode to the identical array — the report is
+    // meaningless otherwise.
+    assert_eq!(
+        CompressedArray::<f32, i16>::from_bytes(&fixed).unwrap(),
+        CompressedArray::<f32, i16>::from_bytes(&rans).unwrap(),
+        "{field}: coders disagree"
+    );
+    Row {
+        field,
+        elements: a.len(),
+        fixed_bytes: fixed.len(),
+        rans_bytes: rans.len(),
+        auto_coder: c.choose_coder(),
+    }
+}
+
+/// Mean wall time of `f` over `reps` runs, in seconds.
+fn time(reps: u32, mut f: impl FnMut()) -> f64 {
+    let t0 = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let fields: Vec<Row> = vec![
+        measure("gradient", &gradient(&[512, 512]), vec![8, 8]),
+        {
+            let mut sw = ShallowWater::<f32>::new(SwConfig {
+                nx: 96,
+                ny: 96,
+                ..SwConfig::default()
+            });
+            sw.run(200);
+            measure("shallow_water", &sw.surface_height(), vec![8, 8])
+        },
+        {
+            let frames = series(&FissionConfig::default());
+            measure("fission", &frames[0].1, vec![8, 8, 8])
+        },
+        measure("mri", &MriDataset::small(3, 1, 48).volume(0), vec![4, 8, 8]),
+    ];
+
+    for r in &fields {
+        println!(
+            "ratio field={} elements={} fixed={} rans={} win={:.1}% auto={}",
+            r.field,
+            r.elements,
+            r.fixed_bytes,
+            r.rans_bytes,
+            r.win(),
+            r.auto_coder
+        );
+    }
+
+    // Throughput at the acceptance geometry: 1024² f32/i16 on a smooth
+    // field (the regime where the rANS decode actually runs).
+    let n = 1024usize;
+    let a = NdArray::from_fn(vec![n, n], |ix| {
+        (ix[0] as f64 * 0.013).sin() + (ix[1] as f64 * 0.017).cos()
+    });
+    let settings = Settings::new(vec![8, 8]).unwrap();
+    let c = compress::<f32, i16>(&a, &settings).unwrap();
+    let fixed = c.to_bytes_with(Coder::FixedWidth);
+    let rans = c.to_bytes_with(Coder::Rans);
+    let melems = (n * n) as f64 / 1.0e6;
+    let reps = 20;
+    let enc_fixed = time(reps, || {
+        std::hint::black_box(c.to_bytes_with(Coder::FixedWidth));
+    });
+    let enc_rans = time(reps, || {
+        std::hint::black_box(c.to_bytes_with(Coder::Rans));
+    });
+    let dec_fixed = time(reps, || {
+        std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&fixed).unwrap());
+    });
+    let dec_rans = time(reps, || {
+        std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&rans).unwrap());
+    });
+    println!(
+        "throughput op=serialize fixed={:.1}Melem/s rans={:.1}Melem/s",
+        melems / enc_fixed,
+        melems / enc_rans
+    );
+    println!(
+        "throughput op=deserialize fixed={:.1}Melem/s rans={:.1}Melem/s ratio={:.2}",
+        melems / dec_fixed,
+        melems / dec_rans,
+        dec_rans / dec_fixed
+    );
+
+    // Machine-readable record next to BASELINE.md.
+    let mut json = String::from("{\n  \"fields\": [\n");
+    for (i, r) in fields.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"field\": \"{}\", \"elements\": {}, \"fixed_bytes\": {}, \
+             \"rans_bytes\": {}, \"win_pct\": {:.2}, \"auto_coder\": \"{}\"}}{}\n",
+            r.field,
+            r.elements,
+            r.fixed_bytes,
+            r.rans_bytes,
+            r.win(),
+            r.auto_coder,
+            if i + 1 < fields.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"deserialize_1024sq_f32_i16\": {{\"fixed_melem_s\": {:.1}, \
+         \"rans_melem_s\": {:.1}}}\n}}\n",
+        melems / dec_fixed,
+        melems / dec_rans
+    ));
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_codec.json");
+    std::fs::write(out, json).expect("write BENCH_codec.json");
+    println!("wrote {out}");
+
+    // Regression gate: rANS must never lose to its own fallback (the
+    // Auto path would mask this by picking FixedWidth, so gate the
+    // forced-rANS bytes), and the headline fields must keep a real win.
+    let mut failed = false;
+    for r in &fields {
+        if r.rans_bytes > r.fixed_bytes {
+            eprintln!(
+                "FAIL: {}: rans {} > fixed {}",
+                r.field, r.rans_bytes, r.fixed_bytes
+            );
+            failed = true;
+        }
+    }
+    let big_wins = fields.iter().filter(|r| r.win() >= 15.0).count();
+    if big_wins < 2 {
+        eprintln!("FAIL: only {big_wins} field(s) with ≥15% entropy-coding win");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,8 @@
 //! BLAZR_NUM_THREADS=1 cargo run --release -p blazr-bench --bin profile_codec
 //! ```
 
-use blazr::{compress, compress_values, CompressedArray, Settings};
+use blazr::coder::histogram::{Histogram, SymbolTable};
+use blazr::{compress, compress_values, Coder, CompressedArray, Settings};
 use blazr_tensor::blocking::Blocked;
 use blazr_tensor::NdArray;
 use blazr_transform::BlockTransform;
@@ -57,4 +58,40 @@ fn main() {
     t("decompress_values", &mut || {
         std::hint::black_box(c.decompress_values());
     });
+
+    // Entropy-coding stage breakdown, on a smooth field so the rANS
+    // path does real work (random bins degenerate to the fixed-width
+    // fallback regime).
+    println!("-- entropy stages (smooth field) --");
+    let smooth = NdArray::from_fn(vec![n, n], |ix| {
+        (ix[0] as f64 * 0.013).sin() + (ix[1] as f64 * 0.017).cos()
+    });
+    let sc: CompressedArray<f32, i16> = compress(&smooth, &settings).unwrap();
+    t("histogram", &mut || {
+        std::hint::black_box(Histogram::of(sc.indices()));
+    });
+    let hist = Histogram::of(sc.indices());
+    t("table-optimize", &mut || {
+        std::hint::black_box(SymbolTable::optimize(&hist));
+    });
+    t("to_bytes(fixed)", &mut || {
+        std::hint::black_box(sc.to_bytes_with(Coder::FixedWidth));
+    });
+    t("to_bytes(rans)", &mut || {
+        std::hint::black_box(sc.to_bytes_with(Coder::Rans));
+    });
+    let fixed = sc.to_bytes_with(Coder::FixedWidth);
+    let rans = sc.to_bytes_with(Coder::Rans);
+    t("from_bytes(fixed)", &mut || {
+        std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&fixed).unwrap());
+    });
+    t("from_bytes(rans)", &mut || {
+        std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&rans).unwrap());
+    });
+    println!(
+        "rans/fixed size      {:.3}x ({} -> {} bytes)",
+        rans.len() as f64 / fixed.len() as f64,
+        fixed.len(),
+        rans.len()
+    );
 }

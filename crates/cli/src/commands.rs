@@ -366,12 +366,39 @@ fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
         .ok_or("store stat needs a store file")?;
     let store = Store::open(input).map_err(|e| e.to_string())?;
     println!("file           : {input}");
+    println!("format         : {:?}", store.format_version());
     println!("chunks         : {}", store.len());
     println!("file bytes     : {}", store.file_bytes());
     println!("payload bytes  : {}", store.payload_bytes());
     match store.chunk_types() {
         Some((ft, it)) => println!("chunk types    : {} scales, {} indices", ft, it),
         None => println!("chunk types    : (empty store)"),
+    }
+    if !store.is_empty() {
+        // Per-coder chunk counts from the footer, and the realized
+        // entropy-coding win: actual payload bytes vs what the same
+        // chunks would cost in the paper's fixed-width layout (from a
+        // bounded header read per chunk — no payload decode).
+        let mut counts = std::collections::BTreeMap::new();
+        for i in 0..store.len() {
+            *counts.entry(store.chunk_coder(i).name()).or_insert(0usize) += 1;
+        }
+        let coders: Vec<String> = counts.iter().map(|(n, c)| format!("{n}×{c}")).collect();
+        println!("coders         : {}", coders.join(", "));
+        let mut fixed_bits = 0u64;
+        for i in 0..store.len() {
+            fixed_bits += store
+                .chunk_info(i)
+                .map_err(|e| e.to_string())?
+                .fixed_width_bits();
+        }
+        let fixed_bytes = fixed_bits.div_ceil(8);
+        println!(
+            "coding ratio   : {:.3}x vs fixed-width ({} -> {} payload bytes)",
+            fixed_bytes as f64 / store.payload_bytes() as f64,
+            fixed_bytes,
+            store.payload_bytes()
+        );
     }
     if !store.is_empty() {
         println!("label          min          max         mean      l2        ±linf");

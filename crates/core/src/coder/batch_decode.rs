@@ -1,0 +1,292 @@
+//! Branch-light batched rANS decoding.
+//!
+//! The decoder walks a piece's symbols forward in batches of 256,
+//! alternating the two interleaved states two-at-a-time so the state
+//! select is structural rather than a data-dependent branch. Each step
+//! is: slot = state mod SCALE, table row lookup, one multiply-add, then
+//! a (rarely taken) renormalization pull from the word section. Escaped
+//! symbols read their raw value from the escape section that follows
+//! the words.
+//!
+//! Robustness contract: any truncated or bit-flipped stream returns a
+//! [`BlazError`] — never a panic, never a read past the piece. The word
+//! and escape cursors are bounds-checked, every renormalization pull
+//! consumes a word (so corrupt zero states cannot loop forever), and
+//! both final states must land back on the encoder's initial `L`, which
+//! catches most payload corruption outright.
+
+use super::ans::RANS_L;
+use super::histogram::{SymbolTable, SCALE, SCALE_BITS};
+use crate::{BinIndex, BlazError};
+use blazr_util::bits::BitReader;
+
+/// Symbols decoded per refill-check batch.
+const BATCH: usize = 256;
+
+/// One slot of the decode table: everything a decode step needs in a
+/// single load. `bias` is the precomputed `slot - cum`, so the step is
+/// one multiply-add with no second lookup and no subtraction.
+#[derive(Clone, Copy)]
+struct Slot<I> {
+    freq: u16,
+    bias: u16,
+    esc: bool,
+    val: I,
+}
+
+/// Decoder view of a [`SymbolTable`]: a dense slot→entry map over the
+/// whole `SCALE` slot space (32 KiB at `i16` — L1/L2-resident). Escape
+/// slots carry `esc = true` and a dummy value.
+pub(crate) struct DecTable<I> {
+    slots: Vec<Slot<I>>,
+}
+
+impl<I: BinIndex> DecTable<I> {
+    /// Expands a (validated) symbol table into decode form. The table's
+    /// symbol ranges plus the escape range tile the slot space exactly,
+    /// so every slot is written once.
+    pub(crate) fn new(t: &SymbolTable) -> Self {
+        let mut slots = vec![
+            Slot {
+                freq: 0,
+                bias: 0,
+                esc: true,
+                val: I::from_i64(0),
+            };
+            SCALE as usize
+        ];
+        for ((&f, &c), &v) in t.freqs.iter().zip(&t.cums).zip(&t.vals) {
+            let val = I::from_i64(v);
+            for s in c..c + f {
+                slots[s as usize] = Slot {
+                    freq: f as u16,
+                    bias: (s - c) as u16,
+                    esc: false,
+                    val,
+                };
+            }
+        }
+        for s in t.esc_cum..t.esc_cum + t.esc_freq {
+            slots[s as usize] = Slot {
+                freq: t.esc_freq as u16,
+                bias: (s - t.esc_cum) as u16,
+                esc: true,
+                val: I::from_i64(0),
+            };
+        }
+        Self { slots }
+    }
+}
+
+/// Decodes one piece of `m` symbols whose body (word section, then
+/// escape section) starts at `start_bit` of `bytes`. `n_words` and
+/// `n_escapes` come from the piece header; the caller has verified the
+/// claimed sections fit inside the stream.
+pub(crate) fn decode_piece<I: BinIndex>(
+    bytes: &[u8],
+    start_bit: usize,
+    n_words: usize,
+    n_escapes: usize,
+    m: usize,
+    t: &DecTable<I>,
+) -> Result<Vec<I>, BlazError> {
+    let bad = |msg: &str| BlazError::Deserialize(format!("rANS: {msg}"));
+    let mut wr = BitReader::at(bytes, start_bit);
+    let mut words: Vec<u32> = Vec::with_capacity(n_words);
+    for _ in 0..n_words {
+        words.push(wr.read_u32().ok_or_else(|| bad("word section truncated"))?);
+    }
+    // The escape section starts right where the words end.
+    let mut er = wr;
+    if n_words < 4 {
+        return Err(bad("word section shorter than the state flush"));
+    }
+    let mut x0 = (words[0] as u64) << 32 | words[1] as u64;
+    let mut x1 = (words[2] as u64) << 32 | words[3] as u64;
+    if x0 < RANS_L || x1 < RANS_L {
+        return Err(bad("initial states below the normalization bound"));
+    }
+    let mut w = 4usize;
+    let mut escapes_read = 0usize;
+    let mut out: Vec<I> = Vec::with_capacity(m);
+    // Fixed-size view of the slot table so the `& (SCALE - 1)` mask is
+    // enough for the compiler to drop the per-symbol bounds check.
+    const N_SLOTS: usize = SCALE as usize;
+    let slots: &[Slot<I>; N_SLOTS] = t
+        .slots
+        .as_slice()
+        .try_into()
+        .expect("DecTable has SCALE slots");
+
+    // One decode step on one state; pushes the decoded value.
+    macro_rules! step {
+        ($x:ident) => {{
+            let e = slots[($x & (SCALE as u64 - 1)) as usize];
+            $x = e.freq as u64 * ($x >> SCALE_BITS) + e.bias as u64;
+            while $x < RANS_L {
+                if w == words.len() {
+                    return Err(bad("renormalization words exhausted"));
+                }
+                $x = ($x << 32) | words[w] as u64;
+                w += 1;
+            }
+            if e.esc {
+                if escapes_read == n_escapes {
+                    return Err(bad("escape section exhausted"));
+                }
+                escapes_read += 1;
+                let raw = er
+                    .read_bits(I::BITS)
+                    .ok_or_else(|| bad("escape section truncated"))?;
+                let shifted = (raw as i64) << (64 - I::BITS);
+                out.push(I::from_i64(shifted >> (64 - I::BITS)));
+            } else {
+                out.push(e.val);
+            }
+        }};
+    }
+
+    // Batches keep the hot loop tight; all batches except the last are
+    // even-sized, so the x0/x1 interleave stays aligned to symbol parity.
+    let mut done = 0usize;
+    while done < m {
+        let n = BATCH.min(m - done);
+        for _ in 0..n / 2 {
+            step!(x0);
+            step!(x1);
+        }
+        if n % 2 == 1 {
+            step!(x0);
+        }
+        done += n;
+    }
+
+    // The encoder started both states at L and the decoder unwinds the
+    // exact inverse, so anything else means corruption. Leftover words
+    // or escapes mean the header lied.
+    if x0 != RANS_L || x1 != RANS_L {
+        return Err(bad("final states do not match the encoder's seed"));
+    }
+    if w != words.len() {
+        return Err(bad("unconsumed renormalization words"));
+    }
+    if escapes_read != n_escapes {
+        return Err(bad("unconsumed escape values"));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::ans::{encode_piece, EncTable};
+    use super::super::histogram::Histogram;
+    use super::*;
+    use blazr_util::bits::BitWriter;
+    use blazr_util::rng::Xoshiro256pp;
+
+    /// Encodes `indices` into a piece body (words then escapes),
+    /// returning (bytes, n_words, n_escapes).
+    fn encode_body(indices: &[i16]) -> (Vec<u8>, usize, usize, SymbolTable) {
+        let hist = Histogram::of(indices);
+        let table = SymbolTable::optimize(&hist);
+        let enc = EncTable::new::<i16>(&table);
+        let (words, escapes) = encode_piece(indices, &enc);
+        let mut w = BitWriter::new();
+        for &word in &words {
+            w.write_u32(word);
+        }
+        for &v in &escapes {
+            w.write_bits(v.to_i64() as u64 & 0xFFFF, 16);
+        }
+        (w.into_bytes(), words.len(), escapes.len(), table)
+    }
+
+    fn sample(n: usize, seed: u64) -> Vec<i16> {
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let r = rng.next_u64();
+                ((r & 0x7).wrapping_sub(3)) as i16
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batch_boundaries_roundtrip() {
+        // Sizes around the 256-symbol batch and the odd tail.
+        for n in [1usize, 2, 3, 255, 256, 257, 511, 512, 513, 1000] {
+            let data = sample(n, n as u64);
+            let (bytes, n_words, n_escapes, table) = encode_body(&data);
+            let t = DecTable::<i16>::new(&table);
+            let got = decode_piece(&bytes, 0, n_words, n_escapes, n, &t).unwrap();
+            assert_eq!(got, data, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn truncation_sweep_errors_cleanly() {
+        let data = sample(600, 9);
+        let (bytes, n_words, n_escapes, table) = encode_body(&data);
+        let t = DecTable::<i16>::new(&table);
+        for cut in 0..bytes.len() {
+            let r = decode_piece(&bytes[..cut], 0, n_words, n_escapes, 600, &t);
+            assert!(r.is_err(), "cut at {cut} did not error");
+        }
+    }
+
+    #[test]
+    fn bit_flip_sweep_never_panics() {
+        let mut data = sample(500, 21);
+        // Add escapes so the escape path is under the sweep too.
+        data.extend((0..40).map(|v| (v * 97 + 5000) as i16));
+        let (bytes, n_words, n_escapes, table) = encode_body(&data);
+        let t = DecTable::<i16>::new(&table);
+        for byte in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[byte] ^= 1 << bit;
+                // Must return (Ok with different data, or Err) — the
+                // final-state check catches nearly all flips; what it
+                // can't (raw escape bits) decodes to valid other data.
+                let _ = decode_piece(&bad, 0, n_words, n_escapes, data.len(), &t);
+            }
+        }
+    }
+
+    #[test]
+    fn state_flip_is_detected() {
+        let data = sample(512, 33);
+        let (bytes, n_words, n_escapes, table) = encode_body(&data);
+        let t = DecTable::<i16>::new(&table);
+        // Flip a bit inside the flushed initial state words.
+        let mut bad = bytes.clone();
+        bad[1] ^= 0x10;
+        assert!(decode_piece(&bad, 0, n_words, n_escapes, 512, &t).is_err());
+    }
+
+    #[test]
+    fn lying_headers_error_cleanly() {
+        let data = sample(300, 5);
+        let (bytes, n_words, n_escapes, table) = encode_body(&data);
+        let t = DecTable::<i16>::new(&table);
+        assert!(decode_piece(&bytes, 0, n_words + 4, n_escapes, 300, &t).is_err());
+        if n_words > 4 {
+            assert!(decode_piece(&bytes, 0, n_words - 1, n_escapes, 300, &t).is_err());
+        }
+        assert!(decode_piece(&bytes, 0, n_words, n_escapes + 3, 300, &t).is_err());
+        assert!(decode_piece(&bytes, 0, 2, n_escapes, 300, &t).is_err());
+        assert!(decode_piece(&bytes, 0, n_words, n_escapes, 299, &t).is_err());
+        assert!(decode_piece(&[], 0, 4, 0, 1, &t).is_err());
+    }
+
+    #[test]
+    fn all_zero_words_terminate() {
+        // A pathological stream of zero words must hit "words exhausted",
+        // not spin: every renormalization pull consumes a word.
+        let hist = Histogram::of(&[0i16, 0, 0, 1]);
+        let table = SymbolTable::optimize(&hist);
+        let t = DecTable::<i16>::new(&table);
+        let zeros = vec![0u8; 64];
+        assert!(decode_piece(&zeros, 0, 16, 0, 10, &t).is_err());
+    }
+}

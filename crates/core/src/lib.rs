@@ -60,6 +60,7 @@ mod index;
 mod mask;
 mod settings;
 
+pub mod coder;
 pub mod dynamic;
 pub mod ops;
 pub mod ratio;
@@ -69,6 +70,7 @@ pub mod series;
 pub mod tune;
 
 pub use codec::{compress, compress_values, compress_with_report};
+pub use coder::Coder;
 pub use compressed::CompressedArray;
 pub use error::BlazError;
 pub use index::{BinIndex, IndexType};

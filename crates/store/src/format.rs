@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
-//! │ "BLZSTOR1"                               header magic, 8 B   │
+//! │ "BLZSTOR2"                               header magic, 8 B   │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ chunk 0 payload          §IV-C stream (core::serialize)      │
 //! │ chunk 1 payload                                              │
@@ -10,8 +10,9 @@
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ footer:                                                      │
 //! │   u64 chunk_count                                            │
-//! │   per chunk (88 B):                                          │
+//! │   per chunk (96 B):                                          │
 //! │     u64 label │ u64 offset │ u64 len │ u64 fnv1a64(payload)  │
+//! │     u64 coder tag                                            │
 //! │     u64 count │ f64 sum │ f64 sum_sq                         │
 //! │     f64 min_bound │ f64 max_bound │ f64 linf │ f64 l2        │
 //! ├──────────────────────────────────────────────────────────────┤
@@ -28,21 +29,61 @@
 //! files). Floats are stored via `to_bits`, so zone maps round-trip
 //! bit-exactly and a store written twice from the same data is
 //! byte-identical at any thread count.
+//!
+//! **Version history.** Format v1 (`"BLZSTOR1"`) held 88-byte entries with
+//! no coder tag, and its chunk payloads use the v1 stream layout (no coder
+//! byte, fixed-width indices). v2 (`"BLZSTOR2"`) adds a per-chunk entropy
+//! coder tag to the footer and stores v2 streams. The header magic is the
+//! version switch: [`crate::Store::open`] reads both, new files are always
+//! written v2.
 
 use crate::error::StoreError;
 use crate::zonemap::ZoneMap;
 use blazr::ops::{ChunkStats, ErrorBounds};
+use blazr::Coder;
 
-/// Leading file magic.
-pub const HEADER_MAGIC: &[u8; 8] = b"BLZSTOR1";
-/// Trailing file magic.
+/// Leading file magic of the current (v2) format.
+pub const HEADER_MAGIC: &[u8; 8] = b"BLZSTOR2";
+/// Leading file magic of the legacy v1 format (still readable).
+pub const HEADER_MAGIC_V1: &[u8; 8] = b"BLZSTOR1";
+/// Trailing file magic (unchanged across versions).
 pub const TRAILER_MAGIC: &[u8; 8] = b"BLZSIDX1";
 /// Bytes of the fixed-size trailer: footer length, checksum, magic.
 pub const TRAILER_LEN: usize = 24;
-/// Bytes per index entry in the footer.
-pub const ENTRY_LEN: usize = 88;
+/// Bytes per index entry in a v2 footer.
+pub const ENTRY_LEN: usize = 96;
+/// Bytes per index entry in a v1 footer (no coder tag).
+pub const ENTRY_LEN_V1: usize = 88;
 /// Smallest possible store file: header + empty footer + trailer.
 pub const MIN_FILE_LEN: usize = HEADER_MAGIC.len() + 8 + TRAILER_LEN;
+
+/// On-disk format version, decided by the header magic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FormatVersion {
+    /// `"BLZSTOR1"`: 88-byte entries, v1 chunk streams, fixed-width only.
+    V1,
+    /// `"BLZSTOR2"`: 96-byte entries with a coder tag, v2 chunk streams.
+    V2,
+}
+
+impl FormatVersion {
+    /// The version a header magic denotes, if it is one we read.
+    pub fn from_magic(magic: &[u8]) -> Option<Self> {
+        match magic {
+            m if m == HEADER_MAGIC => Some(FormatVersion::V2),
+            m if m == HEADER_MAGIC_V1 => Some(FormatVersion::V1),
+            _ => None,
+        }
+    }
+
+    /// Bytes per footer index entry in this version.
+    pub fn entry_len(self) -> usize {
+        match self {
+            FormatVersion::V1 => ENTRY_LEN_V1,
+            FormatVersion::V2 => ENTRY_LEN,
+        }
+    }
+}
 
 /// One chunk's footer record: where its payload lives and its zone map.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,6 +99,10 @@ pub struct IndexEntry {
     /// read — footer corruption is caught by the trailer checksum,
     /// payload corruption by this one.
     pub payload_sum: u64,
+    /// The entropy coder of the chunk's index payload (v2 footers echo
+    /// the stream's own coder tag so `store stat` can report per-coder
+    /// counts without reading payloads; always fixed-width in v1 files).
+    pub coder: Coder,
     /// The chunk's compressed-space summary.
     pub zone: ZoneMap,
 }
@@ -81,7 +126,17 @@ fn push_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_bits().to_le_bytes());
 }
 
-/// Encodes the footer (chunk count + index entries), without the trailer.
+fn push_entry_common(out: &mut Vec<u8>, e: &IndexEntry) {
+    push_u64(out, e.zone.stats.count);
+    push_f64(out, e.zone.stats.sum);
+    push_f64(out, e.zone.stats.sum_sq);
+    push_f64(out, e.zone.stats.min_bound);
+    push_f64(out, e.zone.stats.max_bound);
+    push_f64(out, e.zone.bounds.linf);
+    push_f64(out, e.zone.bounds.l2);
+}
+
+/// Encodes a v2 footer (chunk count + index entries), without the trailer.
 pub fn encode_footer(entries: &[IndexEntry]) -> Vec<u8> {
     let mut out = Vec::with_capacity(8 + entries.len() * ENTRY_LEN);
     push_u64(&mut out, entries.len() as u64);
@@ -90,13 +145,23 @@ pub fn encode_footer(entries: &[IndexEntry]) -> Vec<u8> {
         push_u64(&mut out, e.offset);
         push_u64(&mut out, e.len);
         push_u64(&mut out, e.payload_sum);
-        push_u64(&mut out, e.zone.stats.count);
-        push_f64(&mut out, e.zone.stats.sum);
-        push_f64(&mut out, e.zone.stats.sum_sq);
-        push_f64(&mut out, e.zone.stats.min_bound);
-        push_f64(&mut out, e.zone.stats.max_bound);
-        push_f64(&mut out, e.zone.bounds.linf);
-        push_f64(&mut out, e.zone.bounds.l2);
+        push_u64(&mut out, e.coder.tag() as u64);
+        push_entry_common(&mut out, e);
+    }
+    out
+}
+
+/// Encodes a legacy v1 footer (no coder tags). Kept public so the
+/// durability suite can fabricate v1 files; the writer never uses it.
+pub fn encode_footer_v1(entries: &[IndexEntry]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(8 + entries.len() * ENTRY_LEN_V1);
+    push_u64(&mut out, entries.len() as u64);
+    for e in entries {
+        push_u64(&mut out, e.label);
+        push_u64(&mut out, e.offset);
+        push_u64(&mut out, e.len);
+        push_u64(&mut out, e.payload_sum);
+        push_entry_common(&mut out, e);
     }
     out
 }
@@ -127,10 +192,15 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Decodes and validates a footer produced by [`encode_footer`].
-/// `payload_end` is the file offset where chunk payloads must end (the
-/// footer's own start); offsets and lengths are checked against it.
-pub fn decode_footer(footer: &[u8], payload_end: u64) -> Result<Vec<IndexEntry>, StoreError> {
+/// Decodes and validates a footer produced by [`encode_footer`] (or, for
+/// [`FormatVersion::V1`], by [`encode_footer_v1`]). `payload_end` is the
+/// file offset where chunk payloads must end (the footer's own start);
+/// offsets and lengths are checked against it.
+pub fn decode_footer(
+    footer: &[u8],
+    payload_end: u64,
+    version: FormatVersion,
+) -> Result<Vec<IndexEntry>, StoreError> {
     let corrupt = |msg: String| StoreError::Corrupt(msg);
     if footer.len() < 8 {
         return Err(corrupt("footer shorter than its chunk count".into()));
@@ -140,7 +210,7 @@ pub fn decode_footer(footer: &[u8], payload_end: u64) -> Result<Vec<IndexEntry>,
         pos: 0,
     };
     let count = c.u64();
-    let expect = 8 + (count as usize).saturating_mul(ENTRY_LEN);
+    let expect = 8 + (count as usize).saturating_mul(version.entry_len());
     if footer.len() != expect {
         return Err(corrupt(format!(
             "footer holds {} bytes but {count} chunks need {expect}",
@@ -155,6 +225,16 @@ pub fn decode_footer(footer: &[u8], payload_end: u64) -> Result<Vec<IndexEntry>,
         let offset = c.u64();
         let len = c.u64();
         let payload_sum = c.u64();
+        let coder = match version {
+            FormatVersion::V1 => Coder::FixedWidth,
+            FormatVersion::V2 => {
+                let tag = c.u64();
+                u8::try_from(tag)
+                    .ok()
+                    .and_then(Coder::from_tag)
+                    .ok_or_else(|| corrupt(format!("chunk {i}: unknown coder tag {tag}")))?
+            }
+        };
         if let Some(last) = last_label {
             if label <= last {
                 return Err(corrupt(format!(
@@ -185,6 +265,7 @@ pub fn decode_footer(footer: &[u8], payload_end: u64) -> Result<Vec<IndexEntry>,
             offset,
             len,
             payload_sum,
+            coder,
             zone: ZoneMap { stats, bounds },
         });
     }
@@ -201,6 +282,7 @@ mod tests {
             offset,
             len,
             payload_sum: 0x1234_5678_9abc_def0,
+            coder: Coder::Rans,
             zone: ZoneMap {
                 stats: ChunkStats {
                     count: 64,
@@ -222,37 +304,78 @@ mod tests {
         let entries = vec![entry(0, 8, 100), entry(10, 108, 50), entry(11, 158, 1)];
         let footer = encode_footer(&entries);
         assert_eq!(footer.len(), 8 + 3 * ENTRY_LEN);
-        let back = decode_footer(&footer, 159).unwrap();
+        let back = decode_footer(&footer, 159, FormatVersion::V2).unwrap();
         assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn v1_footer_roundtrips_with_fixed_width_coder() {
+        let entries = vec![entry(0, 8, 100), entry(10, 108, 50)];
+        let footer = encode_footer_v1(&entries);
+        assert_eq!(footer.len(), 8 + 2 * ENTRY_LEN_V1);
+        let back = decode_footer(&footer, 158, FormatVersion::V1).unwrap();
+        // Everything but the coder (which v1 cannot record) survives.
+        for (b, e) in back.iter().zip(&entries) {
+            assert_eq!(b.coder, Coder::FixedWidth);
+            assert_eq!((b.label, b.offset, b.len), (e.label, e.offset, e.len));
+            assert_eq!(b.zone, e.zone);
+        }
+        // A v1 footer is not a valid v2 footer (size mismatch).
+        assert!(decode_footer(&footer, 158, FormatVersion::V2).is_err());
+    }
+
+    #[test]
+    fn unknown_coder_tag_rejected() {
+        let mut footer = encode_footer(&[entry(0, 8, 10)]);
+        // The coder tag is the fifth u64 of the entry.
+        footer[8 + 4 * 8] = 0x77;
+        assert!(matches!(
+            decode_footer(&footer, 50, FormatVersion::V2),
+            Err(StoreError::Corrupt(_))
+        ));
     }
 
     #[test]
     fn empty_footer_roundtrips() {
         let footer = encode_footer(&[]);
-        assert_eq!(decode_footer(&footer, 8).unwrap(), vec![]);
+        assert_eq!(
+            decode_footer(&footer, 8, FormatVersion::V2).unwrap(),
+            vec![]
+        );
+    }
+
+    #[test]
+    fn format_version_from_magic() {
+        assert_eq!(
+            FormatVersion::from_magic(HEADER_MAGIC),
+            Some(FormatVersion::V2)
+        );
+        assert_eq!(
+            FormatVersion::from_magic(HEADER_MAGIC_V1),
+            Some(FormatVersion::V1)
+        );
+        assert_eq!(FormatVersion::from_magic(b"BLZSTOR9"), None);
     }
 
     #[test]
     fn label_order_and_offsets_are_validated() {
+        let dec = |footer: &[u8], end| decode_footer(footer, end, FormatVersion::V2);
         // Non-increasing labels.
         let footer = encode_footer(&[entry(5, 8, 10), entry(5, 18, 10)]);
-        assert!(matches!(
-            decode_footer(&footer, 28),
-            Err(StoreError::Corrupt(_))
-        ));
+        assert!(matches!(dec(&footer, 28), Err(StoreError::Corrupt(_))));
         // Payload reaching past the footer start.
         let footer = encode_footer(&[entry(0, 8, 100)]);
-        assert!(decode_footer(&footer, 50).is_err());
+        assert!(dec(&footer, 50).is_err());
         // Payload under the header.
         let footer = encode_footer(&[entry(0, 0, 4)]);
-        assert!(decode_footer(&footer, 50).is_err());
+        assert!(dec(&footer, 50).is_err());
         // Overlapping payloads.
         let footer = encode_footer(&[entry(0, 8, 10), entry(1, 12, 10)]);
-        assert!(decode_footer(&footer, 50).is_err());
+        assert!(dec(&footer, 50).is_err());
         // Truncated / padded footers.
         let good = encode_footer(&[entry(0, 8, 10)]);
-        assert!(decode_footer(&good[..good.len() - 1], 50).is_err());
-        assert!(decode_footer(&[], 50).is_err());
+        assert!(dec(&good[..good.len() - 1], 50).is_err());
+        assert!(dec(&[], 50).is_err());
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod writer;
 mod zonemap;
 
 pub use error::StoreError;
-pub use format::IndexEntry;
+pub use format::{FormatVersion, IndexEntry};
 pub use query::{Aggregate, Predicate, Query, QueryResult};
 pub use store::{write_series, Store};
 pub use writer::StoreWriter;

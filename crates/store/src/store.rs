@@ -3,13 +3,15 @@
 
 use crate::error::{io_err, StoreError};
 use crate::format::{
-    decode_footer, fnv1a64, IndexEntry, HEADER_MAGIC, MIN_FILE_LEN, TRAILER_LEN, TRAILER_MAGIC,
+    decode_footer, fnv1a64, FormatVersion, IndexEntry, HEADER_MAGIC, MIN_FILE_LEN, TRAILER_LEN,
+    TRAILER_MAGIC,
 };
 use crate::writer::StoreWriter;
 use crate::zonemap::ZoneMap;
-use blazr::dynamic::{from_bytes_dyn, DynCompressed};
+use blazr::dynamic::{from_bytes_dyn, from_bytes_dyn_v1, DynCompressed};
+use blazr::serialize::{StreamInfo, StreamVersion};
 use blazr::series::CompressedSeries;
-use blazr::{BinIndex, CompressedArray, IndexType, ScalarType};
+use blazr::{BinIndex, Coder, CompressedArray, IndexType, ScalarType};
 use blazr_precision::StorableReal;
 use rayon::prelude::*;
 use std::ops::Range;
@@ -67,6 +69,7 @@ impl Backing {
 pub struct Store {
     backing: Backing,
     entries: Vec<IndexEntry>,
+    version: FormatVersion,
 }
 
 impl Store {
@@ -93,9 +96,10 @@ impl Store {
                 "file holds {file_len} bytes; a store needs at least {MIN_FILE_LEN}"
             )));
         }
-        if backing.read_at(0, HEADER_MAGIC.len())? != HEADER_MAGIC {
-            return Err(corrupt("missing BLZSTOR1 header magic".into()));
-        }
+        let magic = backing.read_at(0, HEADER_MAGIC.len())?;
+        let Some(version) = FormatVersion::from_magic(&magic) else {
+            return Err(corrupt("missing BLZSTOR header magic".into()));
+        };
         let trailer = backing.read_at(file_len - TRAILER_LEN as u64, TRAILER_LEN)?;
         if &trailer[16..] != TRAILER_MAGIC {
             return Err(corrupt(
@@ -120,8 +124,31 @@ impl Store {
                 "footer checksum mismatch: stored {stored_sum:#018x}, computed {actual_sum:#018x}"
             )));
         }
-        let entries = decode_footer(&footer, footer_start)?;
-        Ok(Self { backing, entries })
+        let entries = decode_footer(&footer, footer_start, version)?;
+        Ok(Self {
+            backing,
+            entries,
+            version,
+        })
+    }
+
+    /// The on-disk format version this store was written with. New files
+    /// are always v2; v1 files stay readable.
+    pub fn format_version(&self) -> FormatVersion {
+        self.version
+    }
+
+    /// The stream layout version of this store's chunk payloads.
+    fn stream_version(&self) -> StreamVersion {
+        match self.version {
+            FormatVersion::V1 => StreamVersion::V1,
+            FormatVersion::V2 => StreamVersion::V2,
+        }
+    }
+
+    /// The entropy coder of chunk `i`'s index payload, from the footer.
+    pub fn chunk_coder(&self, i: usize) -> Coder {
+        self.entries[i].coder
     }
 
     /// Number of chunks.
@@ -175,9 +202,14 @@ impl Store {
         Ok(bytes)
     }
 
-    /// Decodes chunk `i` with runtime types read from its payload.
+    /// Decodes chunk `i` with runtime types read from its payload (the
+    /// store's format version picks the stream parser).
     pub fn chunk(&self, i: usize) -> Result<DynCompressed, StoreError> {
-        Ok(from_bytes_dyn(&self.chunk_bytes(i)?)?)
+        let bytes = self.chunk_bytes(i)?;
+        Ok(match self.version {
+            FormatVersion::V1 => from_bytes_dyn_v1(&bytes)?,
+            FormatVersion::V2 => from_bytes_dyn(&bytes)?,
+        })
     }
 
     /// Decodes chunk `i` at a statically-known type pair.
@@ -185,7 +217,31 @@ impl Store {
         &self,
         i: usize,
     ) -> Result<CompressedArray<P, I>, StoreError> {
-        Ok(CompressedArray::<P, I>::from_bytes(&self.chunk_bytes(i)?)?)
+        let bytes = self.chunk_bytes(i)?;
+        Ok(match self.version {
+            FormatVersion::V1 => CompressedArray::<P, I>::from_bytes_v1(&bytes)?,
+            FormatVersion::V2 => CompressedArray::<P, I>::from_bytes(&bytes)?,
+        })
+    }
+
+    /// Header summary of chunk `i` from a bounded prefix read — types,
+    /// transform, coder, geometry, and the fixed-width baseline size —
+    /// without reading or verifying the whole payload. `store stat` uses
+    /// this to report entropy-coding ratios on arbitrarily large chunks.
+    pub fn chunk_info(&self, i: usize) -> Result<StreamInfo, StoreError> {
+        let e = &self.entries[i];
+        // The header (prologue + shape + mask) is far smaller than this
+        // for any realistic geometry; fall back to the full payload only
+        // if a giant mask defeats the prefix.
+        let prefix_len = (e.len as usize).min(64 * 1024);
+        let prefix = self.backing.read_at(e.offset, prefix_len)?;
+        let version = self.stream_version();
+        if let Some(info) = blazr::serialize::peek_info(&prefix, version) {
+            return Ok(info);
+        }
+        blazr::serialize::peek_info(&self.chunk_bytes(i)?, version).ok_or_else(|| {
+            StoreError::Corrupt(format!("chunk {i} (label {}): unreadable header", e.label))
+        })
     }
 
     /// The runtime types of the store's chunks, from the first chunk's

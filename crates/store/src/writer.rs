@@ -129,6 +129,11 @@ impl StoreWriter {
     }
 
     fn write_chunk(&mut self, label: u64, bytes: &[u8], zone: ZoneMap) -> Result<(), StoreError> {
+        // Echo the stream's own coder tag into the footer so diagnostics
+        // can count coders without reading payloads.
+        let coder = blazr::serialize::peek_coder(bytes).ok_or_else(|| {
+            StoreError::Corrupt("serialized chunk has no readable coder tag".into())
+        })?;
         self.file
             .write_all(bytes)
             .map_err(|e| io_err("write", &self.tmp_path, e))?;
@@ -137,6 +142,7 @@ impl StoreWriter {
             offset: self.offset,
             len: bytes.len() as u64,
             payload_sum: fnv1a64(bytes),
+            coder,
             zone,
         });
         self.offset += bytes.len() as u64;

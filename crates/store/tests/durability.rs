@@ -320,3 +320,112 @@ fn series_bridge_roundtrips_on_disk() {
     // Reading at the wrong type pair fails cleanly.
     assert!(store.to_series::<f64, i16>().is_err());
 }
+
+// ---- format v1/v2 coexistence (PR-6 entropy coding) -----------------
+
+/// Builds a legacy v1 store file by hand: v1 magic, v1 chunk streams
+/// (no coder tag), 88-byte footer entries. This is byte-compatible with
+/// what the pre-entropy-coding writer produced.
+fn fabricate_v1_file(data: &[(u64, NdArray<f64>)]) -> Vec<u8> {
+    use blazr_store::format::{encode_footer_v1, encode_trailer, fnv1a64, HEADER_MAGIC_V1};
+    use blazr_store::{IndexEntry, ZoneMap};
+    let settings = Settings::new(vec![4, 4]).unwrap();
+    let mut file: Vec<u8> = HEADER_MAGIC_V1.to_vec();
+    let mut entries = Vec::new();
+    for (label, frame) in data {
+        let c = blazr::compress::<f32, i16>(frame, &settings).unwrap();
+        let zone = ZoneMap::of(&c).unwrap();
+        let bytes = c.to_bytes_v1();
+        entries.push(IndexEntry {
+            label: *label,
+            offset: file.len() as u64,
+            len: bytes.len() as u64,
+            payload_sum: fnv1a64(&bytes),
+            coder: blazr::Coder::FixedWidth,
+            zone,
+        });
+        file.extend_from_slice(&bytes);
+    }
+    let footer = encode_footer_v1(&entries);
+    let trailer = encode_trailer(&footer);
+    file.extend_from_slice(&footer);
+    file.extend_from_slice(&trailer);
+    file
+}
+
+#[test]
+fn v1_files_stay_readable() {
+    use blazr_store::FormatVersion;
+    let data = frames();
+    let store = Store::from_bytes(fabricate_v1_file(&data)).unwrap();
+    assert_eq!(store.format_version(), FormatVersion::V1);
+    assert_eq!(store.len(), data.len());
+    for (i, (label, frame)) in data.iter().enumerate() {
+        assert_eq!(store.entries()[i].label, *label);
+        assert_eq!(store.chunk_coder(i), blazr::Coder::FixedWidth);
+        // v1 chunks decode through the v1 stream parser and match a
+        // fresh compression of the same frame exactly.
+        let settings = Settings::new(vec![4, 4]).unwrap();
+        let expect = blazr::compress::<f32, i16>(frame, &settings).unwrap();
+        assert_eq!(store.chunk_typed::<f32, i16>(i).unwrap(), expect);
+        // Header peeks work on the v1 layout too.
+        let info = store.chunk_info(i).unwrap();
+        assert_eq!(info.coder, blazr::Coder::FixedWidth);
+        assert_eq!(info.shape, vec![13, 18]);
+    }
+    // Zone-map queries never touch payloads, so they are version-blind.
+    let r = store.query(&Query::all(Aggregate::Mean)).unwrap();
+    assert!(r.value.is_finite());
+}
+
+#[test]
+fn v2_files_record_per_chunk_coders() {
+    use blazr_store::FormatVersion;
+    let data = frames();
+    let p = tmp("coder-tags.blzs");
+    write_store(&p, &data);
+    let store = Store::open(&p).unwrap();
+    assert_eq!(store.format_version(), FormatVersion::V2);
+    for i in 0..store.len() {
+        // The footer's coder tag must echo the stream's own prologue.
+        let bytes = store.chunk_bytes(i).unwrap();
+        assert_eq!(
+            blazr::serialize::peek_coder(&bytes),
+            Some(store.chunk_coder(i)),
+            "chunk {i}"
+        );
+        assert_eq!(store.chunk_info(i).unwrap().coder, store.chunk_coder(i));
+    }
+}
+
+#[test]
+fn corrupted_rans_payload_fails_on_chunk_read() {
+    // Smooth frames so the writer actually picks the rANS coder.
+    let data: Vec<(u64, NdArray<f64>)> = (0..3u64)
+        .map(|t| {
+            let f = NdArray::from_fn(vec![16, 16], |i| {
+                ((i[0] + i[1]) as f64 * 0.07 + t as f64).sin()
+            });
+            (t, f)
+        })
+        .collect();
+    let p = tmp("rans-corrupt.blzs");
+    write_store(&p, &data);
+    let clean = Store::open(&p).unwrap();
+    let victim = (0..clean.len())
+        .find(|&i| clean.chunk_coder(i) == blazr::Coder::Rans)
+        .expect("smooth data should entropy-code");
+    let e_offset = clean.entries()[victim].offset as usize;
+    let e_len = clean.entries()[victim].len as usize;
+    let mut bytes = fs::read(&p).unwrap();
+    bytes[e_offset + e_len / 2] ^= 0x20;
+    let store = Store::from_bytes(bytes).unwrap(); // footer is intact
+                                                   // The payload checksum catches the flip before the rANS decoder
+                                                   // even runs; other chunks stay readable.
+    assert!(matches!(store.chunk(victim), Err(StoreError::Corrupt(_))));
+    for i in 0..store.len() {
+        if i != victim {
+            store.chunk(i).unwrap();
+        }
+    }
+}

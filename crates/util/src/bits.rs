@@ -118,6 +118,12 @@ impl BitWriter {
         self.write_bits(value, 64);
     }
 
+    /// Convenience: writes a full `u32` (32 bits) — the word granularity
+    /// of the rANS renormalization stream.
+    pub fn write_u32(&mut self, value: u32) {
+        self.write_bits(value as u64, 32);
+    }
+
     /// Finalizes the stream, returning the bytes (final byte zero-padded).
     pub fn into_bytes(self) -> Vec<u8> {
         self.bytes
@@ -216,6 +222,12 @@ impl<'a> BitReader<'a> {
     /// Reads a full `u64`.
     pub fn read_u64(&mut self) -> Option<u64> {
         self.read_bits(64)
+    }
+
+    /// Reads a full `u32` — the word granularity entropy decoders
+    /// renormalize through.
+    pub fn read_u32(&mut self) -> Option<u32> {
+        self.read_bits(32).map(|v| v as u32)
     }
 
     /// Skips `n` bits.
@@ -352,6 +364,26 @@ mod tests {
         // Past-the-end offsets clamp and read nothing.
         let mut r = BitReader::at(&bytes, 1 << 20);
         assert_eq!(r.read_bit(), None);
+    }
+
+    #[test]
+    fn word_helpers_roundtrip_at_any_alignment() {
+        for lead in 0..9u32 {
+            let mut w = BitWriter::new();
+            if lead > 0 {
+                w.write_bits(0x1FF & low_mask(lead), lead);
+            }
+            w.write_u32(0xDEAD_BEEF);
+            w.write_u32(7);
+            let bytes = w.into_bytes();
+            let mut r = BitReader::new(&bytes);
+            if lead > 0 {
+                r.read_bits(lead);
+            }
+            assert_eq!(r.read_u32(), Some(0xDEAD_BEEF), "lead {lead}");
+            assert_eq!(r.read_u32(), Some(7), "lead {lead}");
+            assert_eq!(r.read_u32(), None, "lead {lead}");
+        }
     }
 
     #[test]

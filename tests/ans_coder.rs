@@ -1,0 +1,212 @@
+//! The entropy-coded (rANS) serialization path must be lossless and
+//! deterministic: for any geometry, transform, mask, and data, the
+//! rANS stream decodes to exactly the array the fixed-width stream
+//! decodes to, and the serialized bytes are bit-identical at 1, 2, 4,
+//! and 8 threads (per-piece sub-streams are encoded independently and
+//! spliced in piece order). Corrupt streams must error, never panic.
+
+use blazr::{compress, Coder, CompressedArray, PruningMask, Settings, TransformKind};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use proptest::prelude::*;
+
+/// Runs `op` under an explicitly sized thread pool.
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+fn random_array(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    NdArray::from_fn(shape, |_| rng.uniform_in(-1.0, 1.0))
+}
+
+/// A smooth field (skewed bin histogram — the regime rANS wins in).
+fn smooth_array(shape: Vec<usize>, seed: u64) -> NdArray<f64> {
+    let phase = seed as f64 * 0.01;
+    NdArray::from_fn(shape, |ix| {
+        ix.iter()
+            .enumerate()
+            .map(|(d, &i)| (i as f64 * 0.05 * (d + 1) as f64 + phase).sin())
+            .sum::<f64>()
+    })
+}
+
+/// Strategy: (shape, block shape) covering block-multiple and padded-tail
+/// geometries in 1-D, 2-D, and 3-D.
+fn geometry() -> impl Strategy<Value = (Vec<usize>, Vec<usize>)> {
+    prop_oneof![
+        (1usize..8).prop_map(|m| (vec![m * 8], vec![8])),
+        (2usize..40).prop_map(|len| (vec![len], vec![8])),
+        (2usize..20, 2usize..20).prop_map(|(r, c)| (vec![r, c], vec![4, 4])),
+        (1usize..6, 1usize..7, 1usize..10).prop_map(|(x, y, z)| (vec![x, y, z], vec![2, 4, 4])),
+    ]
+}
+
+fn transform_kind() -> impl Strategy<Value = TransformKind> {
+    prop_oneof![
+        Just(TransformKind::Dct),
+        Just(TransformKind::Haar),
+        Just(TransformKind::Identity),
+        Just(TransformKind::WalshHadamard),
+    ]
+}
+
+/// Asserts the full coder contract for one compressed array: both coders
+/// and the v1 layout round-trip to the same array, and every layout's
+/// bytes are identical at 1/2/4/8 threads.
+fn assert_coder_contract<P, I>(c: &CompressedArray<P, I>, label: &str)
+where
+    P: blazr::StorableReal,
+    I: blazr::BinIndex,
+{
+    let fixed = with_threads(1, || c.to_bytes_with(Coder::FixedWidth));
+    let rans = with_threads(1, || c.to_bytes_with(Coder::Rans));
+    let v1 = with_threads(1, || c.to_bytes_v1());
+    for threads in [1usize, 2, 4, 8] {
+        let (f, r, v) = with_threads(threads, || {
+            (
+                c.to_bytes_with(Coder::FixedWidth),
+                c.to_bytes_with(Coder::Rans),
+                c.to_bytes_v1(),
+            )
+        });
+        assert_eq!(
+            f, fixed,
+            "{label}: fixed bytes diverged at {threads} threads"
+        );
+        assert_eq!(r, rans, "{label}: rans bytes diverged at {threads} threads");
+        assert_eq!(v, v1, "{label}: v1 bytes diverged at {threads} threads");
+        let (bf, br, bv) = with_threads(threads, || {
+            (
+                CompressedArray::<P, I>::from_bytes(&fixed).unwrap(),
+                CompressedArray::<P, I>::from_bytes(&rans).unwrap(),
+                CompressedArray::<P, I>::from_bytes_v1(&v1).unwrap(),
+            )
+        });
+        assert_eq!(
+            &bf, c,
+            "{label}: fixed decode diverged at {threads} threads"
+        );
+        assert_eq!(&br, c, "{label}: rans decode diverged at {threads} threads");
+        assert_eq!(&bv, c, "{label}: v1 decode diverged at {threads} threads");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Round-trip bit-equality between the rANS and fixed-width layouts
+    /// over arbitrary geometry, transform, and data, at 1/2/4/8 threads.
+    #[test]
+    fn coders_agree_f32_i16(
+        geom in geometry(),
+        kind in transform_kind(),
+        seed in 0u64..1_000_000,
+    ) {
+        let (shape, bs) = geom;
+        let settings = Settings::new(bs).unwrap().with_transform(kind);
+        let c = compress::<f32, i16>(&random_array(shape, seed), &settings).unwrap();
+        assert_coder_contract(&c, "f32/i16");
+    }
+
+    /// Same contract on smooth (histogram-skewed) data, where the rANS
+    /// path does real work, under a pruning mask.
+    #[test]
+    fn coders_agree_on_smooth_pruned_data(
+        rows in 2usize..24,
+        cols in 2usize..24,
+        keep in 1usize..16,
+        seed in 0u64..1_000_000,
+    ) {
+        let mask = PruningMask::keep_lowest_frequencies(&[4, 4], keep).unwrap();
+        let settings = Settings::new(vec![4, 4]).unwrap().with_mask(mask).unwrap();
+        let c = compress::<f32, i8>(&smooth_array(vec![rows, cols], seed), &settings).unwrap();
+        assert_coder_contract(&c, "f32/i8 pruned");
+    }
+
+    /// Truncating a rANS stream anywhere yields an error, never a panic.
+    #[test]
+    fn truncated_rans_streams_error(
+        cut_frac in 0.0f64..1.0,
+        seed in 0u64..1_000_000,
+    ) {
+        let c = compress::<f32, i16>(
+            &smooth_array(vec![24, 24], seed),
+            &Settings::new(vec![4, 4]).unwrap(),
+        ).unwrap();
+        let bytes = c.to_bytes_with(Coder::Rans);
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        prop_assert!(CompressedArray::<f32, i16>::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn forced_rans_roundtrips_at_every_index_width() {
+    let a = smooth_array(vec![20, 20], 3);
+    let s = Settings::new(vec![4, 4]).unwrap();
+    macro_rules! case {
+        ($i:ty) => {{
+            let c = compress::<f32, $i>(&a, &s).unwrap();
+            assert_coder_contract(&c, stringify!($i));
+        }};
+    }
+    case!(i8);
+    case!(i16);
+    case!(i32);
+    case!(i64);
+}
+
+#[test]
+fn auto_choice_is_deterministic_across_threads() {
+    let smooth = compress::<f32, i16>(
+        &smooth_array(vec![64, 64], 7),
+        &Settings::new(vec![8, 8]).unwrap(),
+    )
+    .unwrap();
+    let choices: Vec<Coder> = [1usize, 2, 4, 8]
+        .iter()
+        .map(|&n| with_threads(n, || smooth.choose_coder()))
+        .collect();
+    assert!(choices.windows(2).all(|w| w[0] == w[1]), "{choices:?}");
+    // And the automatic serialization is byte-identical across threads.
+    let reference = with_threads(1, || smooth.to_bytes());
+    for n in [2usize, 4, 8] {
+        assert_eq!(with_threads(n, || smooth.to_bytes()), reference);
+    }
+}
+
+#[test]
+fn bit_flip_sweep_never_panics_at_stream_level() {
+    let c = compress::<f32, i16>(
+        &smooth_array(vec![16, 16], 11),
+        &Settings::new(vec![4, 4]).unwrap(),
+    )
+    .unwrap();
+    let bytes = c.to_bytes_with(Coder::Rans);
+    for byte in 0..bytes.len() {
+        for bit in 0..8 {
+            let mut bad = bytes.clone();
+            bad[byte] ^= 1 << bit;
+            // Ok (the flip hit a raw escape/biggest bit and produced a
+            // different valid array) or Err — never a panic or over-read.
+            let _ = CompressedArray::<f32, i16>::from_bytes(&bad);
+        }
+    }
+}
+
+#[test]
+fn padded_tails_roundtrip_under_rans() {
+    // Non-multiple extents exercise zero-padded tail blocks, whose bin
+    // indices skew the histogram further.
+    for shape in [vec![7usize], vec![9, 13], vec![3, 5, 7]] {
+        let bs = vec![4usize; shape.len()];
+        let c = compress::<f64, i16>(&smooth_array(shape.clone(), 5), &Settings::new(bs).unwrap())
+            .unwrap();
+        let back = CompressedArray::<f64, i16>::from_bytes(&c.to_bytes_with(Coder::Rans)).unwrap();
+        assert_eq!(back, c, "shape {shape:?}");
+    }
+}

@@ -2,7 +2,7 @@
 //! asserted end-to-end. Each test names the section it reproduces.
 
 use blazr::dynamic::compress_dyn;
-use blazr::{compress, CompressedArray, IndexType, PruningMask, ScalarType, Settings};
+use blazr::{compress, Coder, CompressedArray, IndexType, PruningMask, ScalarType, Settings};
 use blazr_datasets::fission::{series, FissionConfig, SCISSION_BETWEEN};
 use blazr_datasets::mri::MriDataset;
 use blazr_tensor::{reduce, NdArray};
@@ -10,12 +10,19 @@ use blazr_util::rng::Xoshiro256pp;
 
 /// §IV-C: compression ratio ≈ 2.91 for shape (3,224,224), blocks (4,4,4),
 /// FP32 scales, int16 indices, no pruning — against real serialized bytes.
+/// The paper's formula describes the fixed-width layout, so that coder is
+/// pinned here; the default rANS coder only ever produces fewer bytes.
 #[test]
 fn ratio_example_291() {
     let a = NdArray::<f64>::zeros(vec![3, 224, 224]);
     let c = compress::<f32, i16>(&a, &Settings::new(vec![4, 4, 4]).unwrap()).unwrap();
-    let ratio = (a.len() * 8) as f64 / c.to_bytes().len() as f64;
+    let fixed = c.to_bytes_with(Coder::FixedWidth);
+    let ratio = (a.len() * 8) as f64 / fixed.len() as f64;
     assert!((ratio - 2.91).abs() < 0.01, "ratio {ratio}");
+    assert!(
+        c.to_bytes().len() <= fixed.len(),
+        "auto coder must not lose"
+    );
 }
 
 /// §IV-C: ratio ≈ 10.66 with int8 and half the indices pruned.
@@ -28,12 +35,13 @@ fn ratio_example_1066() {
         .with_mask(mask)
         .unwrap();
     let c = compress::<f32, i8>(&a, &s).unwrap();
-    let ratio = (a.len() * 8) as f64 / c.to_bytes().len() as f64;
+    let ratio = (a.len() * 8) as f64 / c.to_bytes_with(Coder::FixedWidth).len() as f64;
     assert!((ratio - 10.66).abs() < 0.01, "ratio {ratio}");
 }
 
 /// §III: "The compression ratio depends only on compression settings and
-/// is independent of data."
+/// is independent of data." — true of the paper's fixed-width layout; the
+/// rANS coder deliberately trades this invariant for a smaller payload.
 #[test]
 fn ratio_is_data_independent() {
     let mut rng = Xoshiro256pp::seed_from_u64(1);
@@ -42,7 +50,10 @@ fn ratio_is_data_independent() {
     let s = Settings::new(vec![8, 8]).unwrap();
     let ca = compress::<f32, i8>(&a, &s).unwrap();
     let cb = compress::<f32, i8>(&b, &s).unwrap();
-    assert_eq!(ca.to_bytes().len(), cb.to_bytes().len());
+    assert_eq!(
+        ca.to_bytes_with(Coder::FixedWidth).len(),
+        cb.to_bytes_with(Coder::FixedWidth).len()
+    );
 }
 
 /// §V-B / Fig. 5: fp32 and fp64 achieve almost the same error; 16-bit

@@ -6,12 +6,66 @@
 //! zone maps can prune the rest from the footer alone — the pruned query
 //! should approach O(selected) while the full scan stays O(store).
 
+#![allow(unsafe_code)] // the allocation-counting GlobalAlloc below
+
 use blazr::{IndexType, ScalarType, Settings};
 use blazr_store::{Aggregate, Predicate, Query, Store, StoreWriter};
 use blazr_tensor::NdArray;
 use blazr_util::rng::Xoshiro256pp;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts heap allocations so the zero-copy claim — a steady-state query
+/// over a mapped store performs ~no per-chunk allocations — is asserted
+/// here, not assumed.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Steady-state allocation audit. After warm-up (checksum latches set,
+/// decode scratch sized), a query on the mmap backing must cost a small
+/// constant number of allocations — the result vectors, 3 as measured —
+/// independent of chunk count and payload bytes. The pre-zero-copy read
+/// path allocated per chunk per query (payload copy + decode buffers +
+/// rANS table expansion): ~150 on this dataset.
+fn assert_query_allocations(store: &Store, q: &Query) {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap();
+    pool.install(|| {
+        store.query(q).unwrap();
+        store.query(q).unwrap();
+        const RUNS: u64 = 32;
+        let before = ALLOCS.load(Ordering::Relaxed);
+        for _ in 0..RUNS {
+            std::hint::black_box(store.query(q).unwrap());
+        }
+        let per_query = (ALLOCS.load(Ordering::Relaxed) - before) / RUNS;
+        println!("alloc-audit: {per_query} heap allocations per steady-state mapped query");
+        assert!(
+            per_query <= 8,
+            "steady-state mapped query made {per_query} allocations \
+             (want ~3, the result vectors — the zero-copy path regressed)"
+        );
+    });
+}
 
 /// Chunks per store and rows/cols per chunk (block-aligned so zone maps
 /// stay tight; see `crates/store/tests/pruning.rs`).
@@ -103,6 +157,9 @@ fn bench_query(c: &mut Criterion) {
         "ramp must let zone maps prune most chunks"
     );
     let unselective = Query::all(Aggregate::Variance);
+    if store.backing_kind() == "mmap" {
+        assert_query_allocations(&store, &unselective);
+    }
 
     let mut g = c.benchmark_group(format!("store-query/{CHUNKS}x{ROWS}x{COLS}-f32-i16"));
     g.sample_size(10);

@@ -367,6 +367,7 @@ fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
     let store = Store::open(input).map_err(|e| e.to_string())?;
     println!("file           : {input}");
     println!("format         : {:?}", store.format_version());
+    println!("backing        : {}", store.backing_kind());
     println!("chunks         : {}", store.len());
     println!("file bytes     : {}", store.file_bytes());
     println!("payload bytes  : {}", store.payload_bytes());
@@ -378,10 +379,11 @@ fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
         // Per-coder chunk counts from the footer, and the realized
         // entropy-coding win: actual payload bytes vs what the same
         // chunks would cost in the paper's fixed-width layout (from a
-        // bounded header read per chunk — no payload decode).
+        // verified header peek per chunk — no full payload decode).
         let mut counts = std::collections::BTreeMap::new();
         for i in 0..store.len() {
-            *counts.entry(store.chunk_coder(i).name()).or_insert(0usize) += 1;
+            let coder = store.try_chunk_coder(i).map_err(|e| e.to_string())?;
+            *counts.entry(coder.name()).or_insert(0usize) += 1;
         }
         let coders: Vec<String> = counts.iter().map(|(n, c)| format!("{n}×{c}")).collect();
         println!("coders         : {}", coders.join(", "));

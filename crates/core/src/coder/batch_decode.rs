@@ -19,6 +19,9 @@ use super::ans::RANS_L;
 use super::histogram::{SymbolTable, SCALE, SCALE_BITS};
 use crate::{BinIndex, BlazError};
 use blazr_util::bits::BitReader;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Symbols decoded per refill-check batch.
 const BATCH: usize = 256;
@@ -45,20 +48,32 @@ impl<I: BinIndex> DecTable<I> {
     /// Expands a (validated) symbol table into decode form. The table's
     /// symbol ranges plus the escape range tile the slot space exactly,
     /// so every slot is written once.
+    #[cfg(test)]
     pub(crate) fn new(t: &SymbolTable) -> Self {
-        let mut slots = vec![
+        let mut dec = Self { slots: Vec::new() };
+        dec.rebuild(t);
+        dec
+    }
+
+    /// [`DecTable::new`] in place: re-expands `t` into this table's slot
+    /// vector, reusing its capacity. After the first chunk a thread
+    /// decodes, rebuilding for the next chunk's table touches no
+    /// allocator (the slot space is always exactly [`SCALE`] entries).
+    pub(crate) fn rebuild(&mut self, t: &SymbolTable) {
+        self.slots.clear();
+        self.slots.resize(
+            SCALE as usize,
             Slot {
                 freq: 0,
                 bias: 0,
                 esc: true,
                 val: I::from_i64(0),
-            };
-            SCALE as usize
-        ];
+            },
+        );
         for ((&f, &c), &v) in t.freqs.iter().zip(&t.cums).zip(&t.vals) {
             let val = I::from_i64(v);
             for s in c..c + f {
-                slots[s as usize] = Slot {
+                self.slots[s as usize] = Slot {
                     freq: f as u16,
                     bias: (s - c) as u16,
                     esc: false,
@@ -67,48 +82,86 @@ impl<I: BinIndex> DecTable<I> {
             }
         }
         for s in t.esc_cum..t.esc_cum + t.esc_freq {
-            slots[s as usize] = Slot {
+            self.slots[s as usize] = Slot {
                 freq: t.esc_freq as u16,
                 bias: (s - t.esc_cum) as u16,
                 esc: true,
                 val: I::from_i64(0),
             };
         }
-        Self { slots }
     }
 }
 
-/// Decodes one piece of `m` symbols whose body (word section, then
-/// escape section) starts at `start_bit` of `bytes`. `n_words` and
-/// `n_escapes` come from the piece header; the caller has verified the
-/// claimed sections fit inside the stream.
-pub(crate) fn decode_piece<I: BinIndex>(
+std::thread_local! {
+    /// Per-thread pool of decode tables, one per index type in use
+    /// (`DecTable<I>` is generic, thread-locals cannot be — the map is
+    /// keyed by `TypeId` and in practice holds one entry). Each rANS
+    /// decode rebuilds the pooled table in place, so the steady-state
+    /// scan pays zero allocations for the `SCALE`-slot expansion.
+    static DEC_TABLES: RefCell<HashMap<TypeId, Box<dyn Any>>> = RefCell::new(HashMap::new());
+}
+
+/// Runs `f` with this thread's pooled [`DecTable<I>`] rebuilt from `t`.
+pub(crate) fn with_dec_table<I: BinIndex, R>(
+    t: &SymbolTable,
+    f: impl FnOnce(&DecTable<I>) -> R,
+) -> R {
+    DEC_TABLES.with(|cell| {
+        let mut pool = cell.borrow_mut();
+        let slot = pool
+            .entry(TypeId::of::<I>())
+            .or_insert_with(|| Box::new(DecTable::<I> { slots: Vec::new() }));
+        let dec = slot
+            .downcast_mut::<DecTable<I>>()
+            .expect("pool entries are keyed by their concrete type");
+        dec.rebuild(t);
+        f(dec)
+    })
+}
+
+/// Decodes one piece of `out.len()` symbols whose body (word section,
+/// then escape section) starts at `start_bit` of `bytes`, writing the
+/// symbols into `out`. `n_words` and `n_escapes` come from the piece
+/// header. The renormalization words are consumed strictly forward, so
+/// they are streamed from the bit reader on demand — no word buffer and
+/// no output allocation; a scan loop that reuses `out` decodes pieces
+/// with zero heap traffic.
+pub(crate) fn decode_piece_into<I: BinIndex>(
     bytes: &[u8],
     start_bit: usize,
     n_words: usize,
     n_escapes: usize,
-    m: usize,
+    out: &mut [I],
     t: &DecTable<I>,
-) -> Result<Vec<I>, BlazError> {
+) -> Result<(), BlazError> {
     let bad = |msg: &str| BlazError::Deserialize(format!("rANS: {msg}"));
     let mut wr = BitReader::at(bytes, start_bit);
-    let mut words: Vec<u32> = Vec::with_capacity(n_words);
-    for _ in 0..n_words {
-        words.push(wr.read_u32().ok_or_else(|| bad("word section truncated"))?);
+    // One up-front bounds check stands in for the per-word checks the
+    // streaming reads would otherwise need.
+    let word_bits = n_words
+        .checked_mul(32)
+        .ok_or_else(|| bad("word section size overflows"))?;
+    if wr.remaining() < word_bits {
+        return Err(bad("word section truncated"));
     }
-    // The escape section starts right where the words end.
-    let mut er = wr;
     if n_words < 4 {
         return Err(bad("word section shorter than the state flush"));
     }
-    let mut x0 = (words[0] as u64) << 32 | words[1] as u64;
-    let mut x1 = (words[2] as u64) << 32 | words[3] as u64;
+    // The escape section starts right where the words end.
+    let mut er = BitReader::at(bytes, start_bit + word_bits);
+    let w0 = wr.read_u32().expect("word section length validated") as u64;
+    let w1 = wr.read_u32().expect("word section length validated") as u64;
+    let w2 = wr.read_u32().expect("word section length validated") as u64;
+    let w3 = wr.read_u32().expect("word section length validated") as u64;
+    let mut x0 = w0 << 32 | w1;
+    let mut x1 = w2 << 32 | w3;
     if x0 < RANS_L || x1 < RANS_L {
         return Err(bad("initial states below the normalization bound"));
     }
     let mut w = 4usize;
     let mut escapes_read = 0usize;
-    let mut out: Vec<I> = Vec::with_capacity(m);
+    let mut pos = 0usize;
+    let m = out.len();
     // Fixed-size view of the slot table so the `& (SCALE - 1)` mask is
     // enough for the compiler to drop the per-symbol bounds check.
     const N_SLOTS: usize = SCALE as usize;
@@ -118,16 +171,17 @@ pub(crate) fn decode_piece<I: BinIndex>(
         .try_into()
         .expect("DecTable has SCALE slots");
 
-    // One decode step on one state; pushes the decoded value.
+    // One decode step on one state; writes the decoded value.
     macro_rules! step {
         ($x:ident) => {{
             let e = slots[($x & (SCALE as u64 - 1)) as usize];
             $x = e.freq as u64 * ($x >> SCALE_BITS) + e.bias as u64;
             while $x < RANS_L {
-                if w == words.len() {
+                if w == n_words {
                     return Err(bad("renormalization words exhausted"));
                 }
-                $x = ($x << 32) | words[w] as u64;
+                let word = wr.read_u32().expect("word section length validated");
+                $x = ($x << 32) | word as u64;
                 w += 1;
             }
             if e.esc {
@@ -139,10 +193,11 @@ pub(crate) fn decode_piece<I: BinIndex>(
                     .read_bits(I::BITS)
                     .ok_or_else(|| bad("escape section truncated"))?;
                 let shifted = (raw as i64) << (64 - I::BITS);
-                out.push(I::from_i64(shifted >> (64 - I::BITS)));
+                out[pos] = I::from_i64(shifted >> (64 - I::BITS));
             } else {
-                out.push(e.val);
+                out[pos] = e.val;
             }
+            pos += 1;
         }};
     }
 
@@ -167,12 +222,28 @@ pub(crate) fn decode_piece<I: BinIndex>(
     if x0 != RANS_L || x1 != RANS_L {
         return Err(bad("final states do not match the encoder's seed"));
     }
-    if w != words.len() {
+    if w != n_words {
         return Err(bad("unconsumed renormalization words"));
     }
     if escapes_read != n_escapes {
         return Err(bad("unconsumed escape values"));
     }
+    Ok(())
+}
+
+/// Allocating wrapper over [`decode_piece_into`] — kept for the coder
+/// unit tests, which exercise pieces in isolation.
+#[cfg(test)]
+pub(crate) fn decode_piece<I: BinIndex>(
+    bytes: &[u8],
+    start_bit: usize,
+    n_words: usize,
+    n_escapes: usize,
+    m: usize,
+    t: &DecTable<I>,
+) -> Result<Vec<I>, BlazError> {
+    let mut out = vec![I::from_i64(0); m];
+    decode_piece_into(bytes, start_bit, n_words, n_escapes, &mut out, t)?;
     Ok(out)
 }
 

@@ -157,25 +157,43 @@ impl SymbolTable {
     /// not by out-of-bounds panics later). Values must be strictly
     /// ascending, frequencies ≥ 1, and the grand total exactly [`SCALE`].
     pub fn from_parts(vals: Vec<i64>, freqs: Vec<u32>, esc_freq: u32) -> Result<Self, String> {
-        if vals.len() != freqs.len() {
+        let mut t = Self {
+            vals,
+            freqs,
+            cums: Vec::new(),
+            esc_freq: 0,
+            esc_cum: 0,
+        };
+        t.rebuild(esc_freq)?;
+        Ok(t)
+    }
+
+    /// [`SymbolTable::from_parts`] in place: `vals`/`freqs` have already
+    /// been filled (e.g. into a pooled scratch table) and this validates
+    /// them and recomputes `cums`/`esc_cum` reusing their capacity — the
+    /// steady-state decode loop rebuilds per-chunk tables without
+    /// allocating. On error the table must not be used until a later
+    /// `rebuild` succeeds.
+    pub fn rebuild(&mut self, esc_freq: u32) -> Result<(), String> {
+        if self.vals.len() != self.freqs.len() {
             return Err("symbol/frequency count mismatch".into());
         }
-        if vals.len() > MAX_TABLE_SYMS {
+        if self.vals.len() > MAX_TABLE_SYMS {
             return Err(format!(
                 "{} table symbols exceed {MAX_TABLE_SYMS}",
-                vals.len()
+                self.vals.len()
             ));
         }
-        if vals.windows(2).any(|w| w[0] >= w[1]) {
+        if self.vals.windows(2).any(|w| w[0] >= w[1]) {
             return Err("table values not strictly ascending".into());
         }
-        let mut cums = Vec::with_capacity(freqs.len());
+        self.cums.clear();
         let mut acc: u64 = 0;
-        for &f in &freqs {
+        for &f in &self.freqs {
             if f == 0 {
                 return Err("zero table frequency".into());
             }
-            cums.push(acc as u32);
+            self.cums.push(acc as u32);
             acc += f as u64;
         }
         if acc + esc_freq as u64 != SCALE as u64 {
@@ -184,13 +202,9 @@ impl SymbolTable {
                 acc
             ));
         }
-        Ok(Self {
-            vals,
-            freqs,
-            cums,
-            esc_freq,
-            esc_cum: acc as u32,
-        })
+        self.esc_freq = esc_freq;
+        self.esc_cum = acc as u32;
+        Ok(())
     }
 
     /// Stream bits of the serialized table header for a given index

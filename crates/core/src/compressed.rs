@@ -3,7 +3,7 @@
 use crate::{BinIndex, BlazError, Settings};
 use blazr_precision::Real;
 use blazr_tensor::blocking::{scatter_block, Blocked};
-use blazr_tensor::shape::{ceil_div, num_elements};
+use blazr_tensor::shape::{ceil_div, ceil_div_count, num_elements};
 use blazr_tensor::NdArray;
 use blazr_transform::BlockTransform;
 use rayon::prelude::*;
@@ -46,9 +46,10 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         ceil_div(&self.shape, &self.settings.block_shape)
     }
 
-    /// Total number of blocks `Πb`.
+    /// Total number of blocks `Πb`. Allocation-free (per-chunk hot
+    /// paths call this once per chunk).
     pub fn block_count(&self) -> usize {
-        num_elements(&self.num_blocks())
+        ceil_div_count(&self.shape, &self.settings.block_shape)
     }
 
     /// Kept coefficients per block `ΣP`.

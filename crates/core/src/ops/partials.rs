@@ -238,6 +238,83 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
         })
     }
 
+    /// Sequential, allocation-free variant of
+    /// [`CompressedArray::stats_partial`]: the identical per-block
+    /// arithmetic folded in the identical block order — so the result is
+    /// bit-for-bit equal at any thread count — fused into one pass with
+    /// no per-block vector. This is the store's scan-loop entry point,
+    /// where per-chunk allocations would dominate the query cost.
+    pub fn stats_partial_seq(&self) -> Result<ChunkStats, BlazError> {
+        self.require_dc()?;
+        let dc_slot = self
+            .settings
+            .mask
+            .dc_kept_slot()
+            .ok_or(BlazError::DcUnavailable)?;
+        let k = self.kept_per_block();
+        let scale = self.settings.dc_scale();
+        let mut dc_sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut min_bound = f64::INFINITY;
+        let mut max_bound = f64::NEG_INFINITY;
+        for kb in 0..self.block_count() {
+            let dc = self.coeff(kb, dc_slot).to_f64();
+            let mut energy = 0.0;
+            let mut ac_energy = 0.0;
+            for slot in 0..k {
+                let c = self.coeff(kb, slot).to_f64();
+                energy += c * c;
+                if slot != dc_slot {
+                    ac_energy += c * c;
+                }
+            }
+            let mean = dc / scale;
+            let spread = ac_energy.sqrt();
+            dc_sum += dc;
+            sum_sq += energy;
+            min_bound = min_bound.min(mean - spread);
+            max_bound = max_bound.max(mean + spread);
+        }
+        Ok(ChunkStats {
+            count: self.shape().iter().product::<usize>() as u64,
+            sum: dc_sum * scale,
+            sum_sq,
+            min_bound,
+            max_bound,
+        })
+    }
+
+    /// Allocation-free zone test over the block envelopes: true if any
+    /// envelope of [`CompressedArray::block_envelopes`], widened by
+    /// `slack ≥ 0` on both sides, intersects `[lo, hi]`. Equivalent to
+    /// collecting the envelopes and scanning them, but short-circuits on
+    /// the first hit and allocates nothing.
+    pub fn any_envelope_overlaps(&self, lo: f64, hi: f64, slack: f64) -> Result<bool, BlazError> {
+        self.require_dc()?;
+        let dc_slot = self
+            .settings
+            .mask
+            .dc_kept_slot()
+            .ok_or(BlazError::DcUnavailable)?;
+        let k = self.kept_per_block();
+        let scale = self.settings.dc_scale();
+        for kb in 0..self.block_count() {
+            let mean = self.coeff(kb, dc_slot).to_f64() / scale;
+            let mut ac_energy = 0.0;
+            for slot in 0..k {
+                if slot != dc_slot {
+                    let c = self.coeff(kb, slot).to_f64();
+                    ac_energy += c * c;
+                }
+            }
+            let spread = ac_energy.sqrt();
+            if mean - spread - slack <= hi && mean + spread + slack >= lo {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
     /// The §IV-D binning error-model bounds for this array (see
     /// [`ErrorBounds`] for what is and is not covered).
     pub fn error_bounds(&self) -> ErrorBounds {
@@ -382,6 +459,40 @@ mod tests {
     }
 
     #[test]
+    fn sequential_stats_are_bit_identical_to_parallel() {
+        for seed in 0..4 {
+            let a = random_array(vec![19, 23], 30 + seed); // padded shape
+            let c = compress::<f32, i16>(&a, &settings()).unwrap();
+            let par = c.stats_partial().unwrap();
+            let seq = c.stats_partial_seq().unwrap();
+            assert_eq!(par, seq, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn envelope_overlap_scan_matches_collected_envelopes() {
+        let a = random_array(vec![20, 20], 40);
+        let c = compress::<f64, i16>(&a, &settings()).unwrap();
+        let envs = c.block_envelopes().unwrap();
+        for (lo, hi, slack) in [
+            (-0.5, 0.5, 0.0),
+            (2.0, 3.0, 0.0),
+            (2.0, 3.0, 1.5),
+            (-10.0, -9.0, 0.0),
+            (f64::NEG_INFINITY, f64::INFINITY, 0.0),
+        ] {
+            let collected = envs
+                .iter()
+                .any(|&(bl, bh)| bl - slack <= hi && bh + slack >= lo);
+            assert_eq!(
+                c.any_envelope_overlaps(lo, hi, slack).unwrap(),
+                collected,
+                "[{lo}, {hi}] slack {slack}"
+            );
+        }
+    }
+
+    #[test]
     fn stats_require_dc() {
         let a = random_array(vec![8, 8], 5);
         let mut keep = vec![true; 16];
@@ -391,6 +502,8 @@ mod tests {
             .unwrap();
         let c = compress::<f64, i16>(&a, &s).unwrap();
         assert!(c.stats_partial().is_err());
+        assert!(c.stats_partial_seq().is_err());
+        assert!(c.any_envelope_overlaps(0.0, 1.0, 0.0).is_err());
         assert!(c.block_envelopes().is_err());
         let s2 = settings().with_transform(TransformKind::Identity);
         let c2 = compress::<f64, i16>(&a, &s2).unwrap();

@@ -48,13 +48,43 @@ use crate::coder::histogram::{Histogram, SymbolTable, MAX_TABLE_SYMS, SCALE_BITS
 use crate::coder::{ans, batch_decode, Coder};
 use crate::{BinIndex, BlazError, CompressedArray, PruningMask, Settings};
 use blazr_precision::StorableReal;
-use blazr_tensor::shape::{ceil_div, num_elements};
+use blazr_tensor::shape::ceil_div_count;
 use blazr_transform::TransformKind;
 use blazr_util::bits::{BitReader, BitWriter};
 use rayon::prelude::*;
+use std::cell::RefCell;
 
 /// Sentinel terminating the shape list. Valid extents are far smaller.
 const SHAPE_END: u64 = u64::MAX;
+
+/// Reusable per-thread state for one rANS index-payload decode: the
+/// deserialized symbol table and the per-piece header/offset lists. All
+/// fields are rebuilt from the stream on every decode; pooling them (plus
+/// the [`batch_decode::with_dec_table`] slot table) makes the
+/// steady-state decode loop allocation-free.
+struct RansScratch {
+    table: SymbolTable,
+    /// Per piece: `(n_words, n_escapes, symbols)`.
+    headers: Vec<(usize, usize, usize)>,
+    /// Per piece: body start bit.
+    offsets: Vec<usize>,
+}
+
+std::thread_local! {
+    static RANS_SCRATCH: RefCell<RansScratch> = const {
+        RefCell::new(RansScratch {
+            table: SymbolTable {
+                vals: Vec::new(),
+                freqs: Vec::new(),
+                cums: Vec::new(),
+                esc_freq: 0,
+                esc_cum: 0,
+            },
+            headers: Vec::new(),
+            offsets: Vec::new(),
+        })
+    };
+}
 
 /// Which prologue layout a stream uses. v1 is the PR-5 layout without a
 /// coder tag; v2 adds the 8-bit coder tag and coder-specific index
@@ -452,29 +482,124 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         Self::parse(bytes, StreamVersion::V1)
     }
 
+    /// Deserializes a v2 stream into `slot`, reusing the previous
+    /// occupant's buffers instead of allocating fresh ones.
+    ///
+    /// This is the scan-loop entry point: when `slot` already holds the
+    /// previous chunk of a homogeneous sequence, the header is checked
+    /// bit-for-bit against that chunk's shape/settings without
+    /// allocating, and a match decodes the payload straight into the
+    /// existing `biggest`/`indices` vectors — zero heap allocation on
+    /// the steady-state path. A header mismatch falls back to a full
+    /// parse (still reusing the vectors' capacity where possible). On
+    /// error `slot` is left `None`; the decoded result is exactly
+    /// [`CompressedArray::from_bytes`]'s.
+    pub fn from_bytes_into(bytes: &[u8], slot: &mut Option<Self>) -> Result<(), BlazError> {
+        Self::parse_into(bytes, StreamVersion::V2, slot)
+    }
+
+    /// [`CompressedArray::from_bytes_into`] for legacy v1 streams.
+    pub fn from_bytes_v1_into(bytes: &[u8], slot: &mut Option<Self>) -> Result<(), BlazError> {
+        Self::parse_into(bytes, StreamVersion::V1, slot)
+    }
+
     fn parse(bytes: &[u8], version: StreamVersion) -> Result<Self, BlazError> {
-        let h = parse_header(bytes, version)?;
-        if h.float_type != P::TYPE {
-            return Err(bad(&format!(
-                "float type tag {} does not match requested {}",
-                h.float_type,
-                P::TYPE
-            )));
+        let mut slot = None;
+        Self::parse_into(bytes, version, &mut slot)?;
+        Ok(slot.expect("parse_into fills the slot on success"))
+    }
+
+    /// Streams over the header of `bytes`, comparing every field (type
+    /// tags, transform, shape, block shape, mask) against this array's
+    /// without allocating. Returns the stream's coder and payload start
+    /// bit on a full match; `None` on any mismatch or truncation, in
+    /// which case the caller re-parses the header from scratch.
+    fn header_matches(&self, bytes: &[u8], version: StreamVersion) -> Option<(Coder, usize)> {
+        let mut r = BitReader::new(bytes);
+        if r.read_bits(2)? as u8 != P::TYPE.tag() || r.read_bits(2)? as u8 != I::TYPE.tag() {
+            return None;
         }
-        if h.index_type != I::TYPE {
-            return Err(bad(&format!(
-                "index type tag {} does not match requested {}",
-                h.index_type,
-                I::TYPE
-            )));
+        if r.read_bits(4)? as u8 != self.settings.transform.tag() {
+            return None;
         }
-        let shape = h.shape;
-        let settings = h.settings;
-        let n_blocks = num_elements(&ceil_div(&shape, &settings.block_shape));
+        let coder = match version {
+            StreamVersion::V1 => Coder::FixedWidth,
+            StreamVersion::V2 => Coder::from_tag(r.read_bits(8)? as u8)?,
+        };
+        for &e in &self.shape {
+            if r.read_u64()? != e as u64 {
+                return None;
+            }
+        }
+        if r.read_u64()? != SHAPE_END {
+            return None;
+        }
+        for &e in &self.settings.block_shape {
+            if r.read_u64()? != e as u64 {
+                return None;
+            }
+        }
+        for &b in self.settings.mask.as_bools() {
+            if r.read_bit()? != b {
+                return None;
+            }
+        }
+        Some((coder, r.bit_pos()))
+    }
+
+    fn parse_into(
+        bytes: &[u8],
+        version: StreamVersion,
+        slot: &mut Option<Self>,
+    ) -> Result<(), BlazError> {
+        let matched = slot
+            .as_ref()
+            .and_then(|prev| prev.header_matches(bytes, version));
+        let (shape, settings, coder, payload_start, mut biggest, mut indices) =
+            match (matched, slot.take()) {
+                (Some((coder, payload_start)), Some(prev)) => (
+                    prev.shape,
+                    prev.settings,
+                    coder,
+                    payload_start,
+                    prev.biggest,
+                    prev.indices,
+                ),
+                (_, prev) => {
+                    let h = parse_header(bytes, version)?;
+                    if h.float_type != P::TYPE {
+                        return Err(bad(&format!(
+                            "float type tag {} does not match requested {}",
+                            h.float_type,
+                            P::TYPE
+                        )));
+                    }
+                    if h.index_type != I::TYPE {
+                        return Err(bad(&format!(
+                            "index type tag {} does not match requested {}",
+                            h.index_type,
+                            I::TYPE
+                        )));
+                    }
+                    let (biggest, indices) = match prev {
+                        Some(p) => (p.biggest, p.indices),
+                        None => (Vec::new(), Vec::new()),
+                    };
+                    (
+                        h.shape,
+                        h.settings,
+                        h.coder,
+                        h.payload_start,
+                        biggest,
+                        indices,
+                    )
+                }
+            };
+        let n_blocks = ceil_div_count(&shape, &settings.block_shape);
         let k = settings.mask.kept_count();
-        let mut r = BitReader::at(bytes, h.payload_start);
-        // Before allocating, confirm the stream actually holds the
-        // biggest section the header claims.
+        let mut r = BitReader::at(bytes, payload_start);
+        // Before touching the buffers, confirm the stream actually holds
+        // the biggest section the header claims.
         let biggest_bits = (P::BITS as u64)
             .checked_mul(n_blocks as u64)
             .ok_or_else(|| bad("biggest section size overflows"))?;
@@ -482,44 +607,45 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
             return Err(bad("stream shorter than its header claims"));
         }
         let biggest_start = r.bit_pos();
-        let biggest_parts: Vec<Vec<P>> = block_ranges(n_blocks)
-            .into_par_iter()
-            .map(|(lo, hi)| {
+        biggest.clear();
+        biggest.resize(n_blocks, P::from_bits_u64(0));
+        biggest
+            .par_chunks_mut(BLOCKS_PER_PIECE)
+            .enumerate()
+            .for_each(|(piece, chunk)| {
+                let lo = piece * BLOCKS_PER_PIECE;
                 let mut pr = BitReader::at(bytes, biggest_start + lo * P::BITS as usize);
-                (lo..hi)
-                    .map(|_| {
-                        P::from_bits_u64(pr.read_bits(P::BITS).expect("payload length validated"))
-                    })
-                    .collect::<Vec<P>>()
-            })
-            .collect();
-        let mut biggest = Vec::with_capacity(n_blocks);
-        for part in biggest_parts {
-            biggest.extend(part);
-        }
+                for n in chunk {
+                    *n = P::from_bits_u64(pr.read_bits(P::BITS).expect("payload length validated"));
+                }
+            });
         r.skip(n_blocks * P::BITS as usize);
-        let indices = match h.coder {
-            Coder::FixedWidth => decode_indices_fixed::<I>(bytes, &mut r, n_blocks, k)?,
-            Coder::Rans => decode_indices_rans::<I>(bytes, &mut r, n_blocks, k)?,
-        };
-        Ok(Self {
+        match coder {
+            Coder::FixedWidth => {
+                decode_indices_fixed_into::<I>(bytes, &mut r, n_blocks, k, &mut indices)?
+            }
+            Coder::Rans => decode_indices_rans_into::<I>(bytes, &mut r, n_blocks, k, &mut indices)?,
+        }
+        *slot = Some(Self {
             shape,
             settings,
             biggest,
             indices,
-        })
+        });
+        Ok(())
     }
 }
 
-/// Decodes the fixed-width index payload in parallel pieces: every
-/// field is fixed-width, so each piece's bit offset is computable and a
-/// private `BitReader` can start right there.
-fn decode_indices_fixed<I: BinIndex>(
+/// Decodes the fixed-width index payload in parallel pieces straight
+/// into `out`: every field is fixed-width, so each piece's bit offset is
+/// computable and a private `BitReader` can start right there.
+fn decode_indices_fixed_into<I: BinIndex>(
     bytes: &[u8],
     r: &mut BitReader<'_>,
     n_blocks: usize,
     k: usize,
-) -> Result<Vec<I>, BlazError> {
+    out: &mut Vec<I>,
+) -> Result<(), BlazError> {
     let index_bits = (I::BITS as u64)
         .checked_mul(k as u64)
         .and_then(|b| b.checked_mul(n_blocks as u64))
@@ -528,34 +654,33 @@ fn decode_indices_fixed<I: BinIndex>(
         return Err(bad("stream shorter than its header claims"));
     }
     let index_start = r.bit_pos();
-    let parts: Vec<Vec<I>> = block_ranges(n_blocks)
-        .into_par_iter()
-        .map(|(lo, hi)| {
-            let mut pr = BitReader::at(bytes, index_start + lo * k * I::BITS as usize);
-            (lo * k..hi * k)
-                .map(|_| {
-                    let raw = pr.read_bits(I::BITS).expect("payload length validated");
-                    I::from_i64(sign_extend(raw, I::BITS))
-                })
-                .collect::<Vec<I>>()
-        })
-        .collect();
-    let mut indices = Vec::with_capacity(n_blocks * k);
-    for part in parts {
-        indices.extend(part);
-    }
-    Ok(indices)
+    out.clear();
+    out.resize(n_blocks * k, I::from_i64(0));
+    // `k ≥ 1` (the mask always keeps a coefficient), so the chunk size
+    // is nonzero and the chunks are exactly the `block_ranges` pieces.
+    let piece_len = BLOCKS_PER_PIECE * k.max(1);
+    out.par_chunks_mut(piece_len)
+        .enumerate()
+        .for_each(|(p, chunk)| {
+            let mut pr = BitReader::at(bytes, index_start + p * piece_len * I::BITS as usize);
+            for f in chunk {
+                let raw = pr.read_bits(I::BITS).expect("payload length validated");
+                *f = I::from_i64(sign_extend(raw, I::BITS));
+            }
+        });
+    Ok(())
 }
 
-/// Decodes the rANS index payload: validate the symbol table, read the
-/// per-piece headers, prefix-sum the piece body offsets, then decode
-/// pieces in parallel.
-fn decode_indices_rans<I: BinIndex>(
+/// Decodes the rANS index payload straight into `out`: validate the
+/// symbol table, read the per-piece headers, prefix-sum the piece body
+/// offsets, then decode pieces in parallel into disjoint sub-slices.
+fn decode_indices_rans_into<I: BinIndex>(
     bytes: &[u8],
     r: &mut BitReader<'_>,
     n_blocks: usize,
     k: usize,
-) -> Result<Vec<I>, BlazError> {
+    out: &mut Vec<I>,
+) -> Result<(), BlazError> {
     let n_syms = r
         .read_bits(16)
         .ok_or_else(|| bad("truncated rANS table header"))? as usize;
@@ -565,67 +690,101 @@ fn decode_indices_rans<I: BinIndex>(
     let esc_freq = r
         .read_bits(13)
         .ok_or_else(|| bad("truncated rANS escape frequency"))? as u32;
-    let mut vals = Vec::with_capacity(n_syms);
-    let mut freqs = Vec::with_capacity(n_syms);
-    for _ in 0..n_syms {
-        let raw = r
-            .read_bits(I::BITS)
-            .ok_or_else(|| bad("truncated rANS table entry"))?;
-        vals.push(sign_extend(raw, I::BITS));
-        freqs.push(
-            r.read_bits(SCALE_BITS)
-                .ok_or_else(|| bad("truncated rANS table entry"))? as u32
-                + 1,
-        );
-    }
-    let table = SymbolTable::from_parts(vals, freqs, esc_freq)
-        .map_err(|e| bad(&format!("invalid rANS table: {e}")))?;
-    // Piece headers. Guard the count against the remaining bits before
-    // allocating anything proportional to it — a lying shape cannot
-    // force a huge allocation.
-    let n_pieces = n_blocks.div_ceil(BLOCKS_PER_PIECE);
-    if (n_pieces as u128) * 64 > r.remaining() as u128 {
-        return Err(bad("stream shorter than its piece headers claim"));
-    }
-    let ranges = block_ranges(n_blocks);
-    let mut headers = Vec::with_capacity(ranges.len());
-    let mut total_bits: u128 = 0;
-    for &(lo, hi) in &ranges {
-        let n_words = r
-            .read_bits(32)
-            .ok_or_else(|| bad("truncated piece header"))? as usize;
-        let n_escapes = r
-            .read_bits(32)
-            .ok_or_else(|| bad("truncated piece header"))? as usize;
-        let m = (hi - lo) * k;
-        if n_escapes > m {
-            return Err(bad("piece claims more escapes than symbols"));
+    RANS_SCRATCH.with(|cell| {
+        let scratch = &mut *cell.borrow_mut();
+        let RansScratch {
+            table,
+            headers,
+            offsets,
+        } = scratch;
+        table.vals.clear();
+        table.freqs.clear();
+        for _ in 0..n_syms {
+            let raw = r
+                .read_bits(I::BITS)
+                .ok_or_else(|| bad("truncated rANS table entry"))?;
+            table.vals.push(sign_extend(raw, I::BITS));
+            table.freqs.push(
+                r.read_bits(SCALE_BITS)
+                    .ok_or_else(|| bad("truncated rANS table entry"))? as u32
+                    + 1,
+            );
         }
-        total_bits += n_words as u128 * 32 + n_escapes as u128 * I::BITS as u128;
-        headers.push((n_words, n_escapes, m));
-    }
-    if total_bits > r.remaining() as u128 {
-        return Err(bad("stream shorter than its piece bodies claim"));
-    }
-    let mut offsets = Vec::with_capacity(headers.len());
-    let mut pos = r.bit_pos();
-    for &(n_words, n_escapes, _) in &headers {
-        offsets.push(pos);
-        pos += n_words * 32 + n_escapes * I::BITS as usize;
-    }
-    let dec = batch_decode::DecTable::<I>::new(&table);
-    let parts: Vec<Result<Vec<I>, BlazError>> = (0..headers.len())
-        .into_par_iter()
-        .map(|p| {
-            let (n_words, n_escapes, m) = headers[p];
-            batch_decode::decode_piece(bytes, offsets[p], n_words, n_escapes, m, &dec)
+        table
+            .rebuild(esc_freq)
+            .map_err(|e| bad(&format!("invalid rANS table: {e}")))?;
+        // Piece headers. Guard the count against the remaining bits before
+        // growing anything proportional to it — a lying shape cannot
+        // force a huge allocation.
+        let n_pieces = n_blocks.div_ceil(BLOCKS_PER_PIECE);
+        if (n_pieces as u128) * 64 > r.remaining() as u128 {
+            return Err(bad("stream shorter than its piece headers claim"));
+        }
+        headers.clear();
+        let mut total_bits: u128 = 0;
+        for p in 0..n_pieces {
+            let (lo, hi) = (
+                p * BLOCKS_PER_PIECE,
+                ((p + 1) * BLOCKS_PER_PIECE).min(n_blocks),
+            );
+            let n_words = r
+                .read_bits(32)
+                .ok_or_else(|| bad("truncated piece header"))? as usize;
+            let n_escapes = r
+                .read_bits(32)
+                .ok_or_else(|| bad("truncated piece header"))? as usize;
+            let m = (hi - lo) * k;
+            if n_escapes > m {
+                return Err(bad("piece claims more escapes than symbols"));
+            }
+            total_bits += n_words as u128 * 32 + n_escapes as u128 * I::BITS as u128;
+            headers.push((n_words, n_escapes, m));
+        }
+        if total_bits > r.remaining() as u128 {
+            return Err(bad("stream shorter than its piece bodies claim"));
+        }
+        offsets.clear();
+        let mut pos = r.bit_pos();
+        for &(n_words, n_escapes, _) in headers.iter() {
+            offsets.push(pos);
+            pos += n_words * 32 + n_escapes * I::BITS as usize;
+        }
+        batch_decode::with_dec_table::<I, _>(table, |dec| {
+            out.clear();
+            out.resize(n_blocks * k, I::from_i64(0));
+            // `k ≥ 1`, so these chunks are exactly the piece block ranges
+            // the headers describe, one disjoint output sub-slice per
+            // piece. Piece errors land in a stack-held latch keeping the
+            // lowest piece index (deterministic at any thread count),
+            // rather than a collected result vector — the success path
+            // performs no allocation at all.
+            let piece_len = BLOCKS_PER_PIECE * k.max(1);
+            let first_err: std::sync::Mutex<Option<(usize, BlazError)>> =
+                std::sync::Mutex::new(None);
+            out.par_chunks_mut(piece_len)
+                .enumerate()
+                .for_each(|(p, chunk)| {
+                    let (n_words, n_escapes, m) = headers[p];
+                    let res = if chunk.len() != m {
+                        Err(bad("piece layout mismatch"))
+                    } else {
+                        batch_decode::decode_piece_into(
+                            bytes, offsets[p], n_words, n_escapes, chunk, dec,
+                        )
+                    };
+                    if let Err(e) = res {
+                        let mut latch = first_err.lock().expect("no panics hold this lock");
+                        if latch.as_ref().is_none_or(|&(q, _)| p < q) {
+                            *latch = Some((p, e));
+                        }
+                    }
+                });
+            match first_err.into_inner().expect("no panics hold this lock") {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
         })
-        .collect();
-    let mut indices = Vec::with_capacity(n_blocks * k);
-    for part in parts {
-        indices.extend(part?);
-    }
-    Ok(indices)
+    })
 }
 
 #[cfg(test)]
@@ -749,6 +908,32 @@ mod tests {
             let back = CompressedArray::<f64, i8>::from_bytes(&c.to_bytes_with(coder)).unwrap();
             assert_eq!(back, c);
         }
+    }
+
+    #[test]
+    fn buffer_reusing_decode_matches_fresh_decode() {
+        let s = Settings::new(vec![4, 4]).unwrap();
+        let mut slot: Option<CompressedArray<f32, i16>> = None;
+        // Same geometry, different data: the header-match fast path must
+        // deliver each chunk's own payload, not the previous one's.
+        for seed in 0..4 {
+            let a = random_array(vec![12, 20], 100 + seed);
+            let c = compress::<f32, i16>(&a, &s).unwrap();
+            for coder in Coder::ALL {
+                CompressedArray::from_bytes_into(&c.to_bytes_with(coder), &mut slot).unwrap();
+                assert_eq!(slot.as_ref().unwrap(), &c, "seed {seed} {coder}");
+            }
+            CompressedArray::from_bytes_v1_into(&c.to_bytes_v1(), &mut slot).unwrap();
+            assert_eq!(slot.as_ref().unwrap(), &c, "seed {seed} v1");
+        }
+        // A geometry change mid-sequence falls back to the full parse.
+        let b = random_array(vec![9, 7], 200);
+        let cb = compress::<f32, i16>(&b, &s).unwrap();
+        CompressedArray::from_bytes_into(&cb.to_bytes(), &mut slot).unwrap();
+        assert_eq!(slot.as_ref().unwrap(), &cb);
+        // Errors clear the slot rather than leaving stale data behind.
+        assert!(CompressedArray::from_bytes_into(&[0xFFu8; 8], &mut slot).is_err());
+        assert!(slot.is_none());
     }
 
     #[test]

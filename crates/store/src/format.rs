@@ -5,6 +5,7 @@
 //! │ "BLZSTOR2"                               header magic, 8 B   │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ chunk 0 payload          §IV-C stream (core::serialize)      │
+//! │ (zero padding to the next 8-byte boundary)                   │
 //! │ chunk 1 payload                                              │
 //! │ …                                                            │
 //! ├──────────────────────────────────────────────────────────────┤
@@ -30,10 +31,20 @@
 //! bit-exactly and a store written twice from the same data is
 //! byte-identical at any thread count.
 //!
+//! **Alignment.** v2 writers pad the gap before each chunk payload with
+//! zero bytes so every payload starts on a [`CHUNK_ALIGN`]-byte boundary
+//! (the header is 8 bytes, so chunk 0 is aligned for free). The footer's
+//! `offset`/`len` describe only the payload — never the padding — and
+//! [`decode_footer`] accepts such forward gaps (offsets may jump ahead of
+//! the previous payload's end, just never behind it), so padded and
+//! legacy back-to-back files read identically. Aligned payloads let the
+//! mmap-backed read path hand out naturally aligned borrowed slices.
+//!
 //! **Version history.** Format v1 (`"BLZSTOR1"`) held 88-byte entries with
-//! no coder tag, and its chunk payloads use the v1 stream layout (no coder
-//! byte, fixed-width indices). v2 (`"BLZSTOR2"`) adds a per-chunk entropy
-//! coder tag to the footer and stores v2 streams. The header magic is the
+//! no coder tag, its chunk payloads use the v1 stream layout (no coder
+//! byte, fixed-width indices), and payloads are packed back-to-back. v2
+//! (`"BLZSTOR2"`) adds a per-chunk entropy coder tag to the footer,
+//! stores v2 streams, and 8-byte-aligns payloads. The header magic is the
 //! version switch: [`crate::Store::open`] reads both, new files are always
 //! written v2.
 
@@ -56,6 +67,11 @@ pub const ENTRY_LEN: usize = 96;
 pub const ENTRY_LEN_V1: usize = 88;
 /// Smallest possible store file: header + empty footer + trailer.
 pub const MIN_FILE_LEN: usize = HEADER_MAGIC.len() + 8 + TRAILER_LEN;
+/// Alignment (bytes) of every chunk payload in a v2 file. The writer
+/// pads with zeros up to this boundary before each payload; the pad
+/// bytes are invisible to the footer (offsets/lengths cover payloads
+/// only) and tolerated by [`decode_footer`] as forward gaps.
+pub const CHUNK_ALIGN: u64 = 8;
 
 /// On-disk format version, decided by the header magic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -25,6 +25,17 @@ use crate::zonemap::ZoneMap;
 use blazr::dynamic::DynCompressed;
 use blazr::ops::{ChunkStats, ErrorBounds};
 use rayon::prelude::*;
+use std::cell::RefCell;
+
+std::thread_local! {
+    /// Per-thread decode scratch for the scan stage. Chunks of one store
+    /// share geometry and settings, so after the first chunk a thread
+    /// decodes, every later [`Store::chunk_into`] takes the header-match
+    /// fast path and reuses these buffers — on a mapped store the
+    /// steady-state scan performs no per-chunk heap allocation (payload
+    /// bytes are borrowed, decode output lands here).
+    static SCAN_SCRATCH: RefCell<Option<DynCompressed>> = const { RefCell::new(None) };
+}
 
 /// One scanned chunk's contribution: its label and partials, `None` when
 /// the exact predicate rejected it.
@@ -68,10 +79,11 @@ impl Predicate {
     pub fn matches_chunk(&self, c: &DynCompressed, zone: &ZoneMap) -> Result<bool, StoreError> {
         match *self {
             Predicate::ValueInRange { lo, hi } => {
+                // Streamed per-block envelope test (identical arithmetic
+                // to collecting `block_envelopes()` and scanning, without
+                // materializing the envelope vector).
                 let slack = zone.bounds.linf;
-                Ok(c.block_envelopes()?
-                    .iter()
-                    .any(|&(bl, bh)| bl - slack <= hi && bh + slack >= lo))
+                Ok(c.any_envelope_overlaps(lo, hi, slack)?)
             }
             Predicate::MeanInRange { lo, hi } => Ok(zone.mean_may_be_in(lo, hi)),
         }
@@ -197,12 +209,14 @@ impl Store {
         let chunks_in_range = range.len();
 
         // Stage 2: prune on zone maps alone (footer data, no payload).
-        let survivors: Vec<usize> = range
-            .filter(|&i| match (&q.predicate, prune) {
-                (Some(p), true) => p.zone_may_match(&self.entries()[i].zone),
-                _ => true,
-            })
-            .collect();
+        // Pre-sized to the range so the query costs a fixed, small number
+        // of allocations (these result vectors) however many chunks it
+        // touches.
+        let mut survivors: Vec<usize> = Vec::with_capacity(chunks_in_range);
+        survivors.extend(range.filter(|&i| match (&q.predicate, prune) {
+            (Some(p), true) => p.zone_may_match(&self.entries()[i].zone),
+            _ => true,
+        }));
         let chunks_pruned = chunks_in_range - survivors.len();
 
         // Stage 3: decode + exact predicate + partials, in parallel; each
@@ -211,26 +225,34 @@ impl Store {
             .par_iter()
             .map(|&i| {
                 let entry = &self.entries()[i];
-                let c = self.chunk(i)?;
-                let matched = match &q.predicate {
-                    Some(p) => p.matches_chunk(&c, &entry.zone)?,
-                    None => true,
-                };
-                if !matched {
-                    return Ok(None);
-                }
-                // Recompute (not copy) the partials from the payload: the
-                // determinism contract makes them equal the stored zone
-                // map bit-for-bit, and recomputing keeps the full scan an
-                // honest reference for index corruption too.
-                let stats = c.stats_partial()?;
-                Ok(Some((entry.label, stats, c.error_bounds())))
+                SCAN_SCRATCH.with(|cell| {
+                    let slot = &mut *cell.borrow_mut();
+                    self.chunk_into(i, slot)?;
+                    let c = slot.as_ref().expect("chunk_into fills the slot");
+                    let matched = match &q.predicate {
+                        Some(p) => p.matches_chunk(c, &entry.zone)?,
+                        None => true,
+                    };
+                    if !matched {
+                        return Ok(None);
+                    }
+                    // Recompute (not copy) the partials from the payload:
+                    // the determinism contract makes them equal the stored
+                    // zone map bit-for-bit, and recomputing keeps the full
+                    // scan an honest reference for index corruption too.
+                    // The sequential fold is bit-identical to the parallel
+                    // `stats_partial` (same per-block arithmetic, same
+                    // order) and allocation-free — the chunks themselves
+                    // already fan out across threads here.
+                    let stats = c.stats_partial_seq()?;
+                    Ok(Some((entry.label, stats, c.error_bounds())))
+                })
             })
             .collect();
 
         let mut stats = ChunkStats::empty();
         let mut bounds = ErrorBounds::exact();
-        let mut matched_labels = Vec::new();
+        let mut matched_labels = Vec::with_capacity(scanned.len());
         for r in scanned {
             if let Some((label, s, b)) = r? {
                 matched_labels.push(label);

@@ -1,5 +1,27 @@
 //! Read-only store handle: the index in memory, chunk decode on demand,
 //! and the paper's §VI series analyses running against on-disk data.
+//!
+//! # Zero-copy reads
+//!
+//! [`Store::open`] memory-maps the file when the platform supports it
+//! (see [`blazr_util::mmap`]), so chunk accesses borrow payload bytes
+//! straight out of the page cache — no per-query copies. The map stays
+//! valid for the handle's lifetime because ingest is atomic-rename (see
+//! [`crate::StoreWriter`]): a re-ingest replaces the *directory entry*,
+//! never the mapped inode's bytes. Platforms without the mmap shim, and
+//! [`Store::open_unmapped`], fall back to positional reads into a
+//! per-thread scratch buffer.
+//!
+//! # Panics vs errors
+//!
+//! Every way bytes can be wrong — truncation, bit rot, hostile footers,
+//! type mismatches — is a [`StoreError`], never a panic. Accessors that
+//! take a chunk index come in two flavors: the bare ones
+//! ([`Store::chunk_coder`], [`Store::zone_map`]) index like slices and
+//! panic on out-of-range (a caller bug), while the `try_` variants
+//! ([`Store::try_chunk_coder`], [`Store::try_zone_map`]) return
+//! [`StoreError::InvalidArgument`] for callers holding untrusted indices
+//! (the CLI uses these).
 
 use crate::error::{io_err, StoreError};
 use crate::format::{
@@ -8,48 +30,89 @@ use crate::format::{
 };
 use crate::writer::StoreWriter;
 use crate::zonemap::ZoneMap;
-use blazr::dynamic::{from_bytes_dyn, from_bytes_dyn_v1, DynCompressed};
+use blazr::dynamic::{from_bytes_dyn_into, from_bytes_dyn_v1_into, DynCompressed};
 use blazr::serialize::{StreamInfo, StreamVersion};
 use blazr::series::CompressedSeries;
 use blazr::{BinIndex, Coder, CompressedArray, IndexType, ScalarType};
 use blazr_precision::StorableReal;
+use blazr_util::mmap::Mmap;
 use rayon::prelude::*;
+use std::cell::Cell;
 use std::ops::Range;
 use std::os::unix::fs::FileExt;
 use std::path::Path;
+use std::sync::OnceLock;
 
-/// Where an open store's bytes live. [`Store::open`] keeps the file
-/// handle and fetches byte ranges on demand with positional reads (no
-/// shared cursor, so parallel chunk scans are race-free);
-/// [`Store::from_bytes`] serves reads from a memory buffer.
+std::thread_local! {
+    /// Reusable read buffer for the positional-read backing, so repeated
+    /// chunk fetches on one thread do not allocate per access. `Cell`
+    /// (take/put-back), not `RefCell`: the buffer is out of the slot for
+    /// the duration of one read, which stays correct even if the access
+    /// callback re-enters the store (the re-entrant read just takes a
+    /// fresh buffer).
+    static READ_SCRATCH: Cell<Vec<u8>> = const { Cell::new(Vec::new()) };
+}
+
+/// Where an open store's bytes live.
 #[derive(Debug)]
 enum Backing {
+    /// The whole file in a caller-provided buffer ([`Store::from_bytes`]).
     Mem(Vec<u8>),
+    /// Read-only memory map: chunk accesses borrow the mapped pages
+    /// directly. Safe against concurrent re-ingest because the writer
+    /// replaces the path by rename — the mapped inode is never truncated
+    /// or rewritten.
+    Map(Mmap),
+    /// Positional-read fallback ([`Store::open_unmapped`], or platforms
+    /// without the mmap shim). Reads share no cursor, so parallel chunk
+    /// scans are race-free.
     File(std::fs::File, u64),
+}
+
+/// Checked sub-slice of `bytes`: `offset as usize + len` can wrap on a
+/// hostile offset (a debug-profile overflow panic was a real bug here),
+/// so the range is built with checked arithmetic and any failure is
+/// reported as corruption.
+fn slice_range(bytes: &[u8], offset: u64, len: usize) -> Result<&[u8], StoreError> {
+    usize::try_from(offset)
+        .ok()
+        .and_then(|start| Some(start..start.checked_add(len)?))
+        .and_then(|range| bytes.get(range))
+        .ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "read [{offset}, {offset}+{len}) beyond {} bytes",
+                bytes.len()
+            ))
+        })
 }
 
 impl Backing {
     fn len(&self) -> u64 {
         match self {
             Backing::Mem(v) => v.len() as u64,
+            Backing::Map(m) => m.len() as u64,
             Backing::File(_, len) => *len,
         }
     }
 
-    /// Reads exactly `len` bytes at `offset`. Callers validate ranges
-    /// against [`Backing::len`] up front (the footer decoder does), so a
-    /// short read here means the file changed underneath us.
+    /// The whole backing as one addressable slice — the zero-copy path.
+    /// `None` for the positional-read backing.
+    fn as_slice(&self) -> Option<&[u8]> {
+        match self {
+            Backing::Mem(v) => Some(v),
+            Backing::Map(m) => Some(m),
+            Backing::File(..) => None,
+        }
+    }
+
+    /// Reads exactly `len` bytes at `offset` into a fresh buffer — used
+    /// for the O(index) open-time reads, where allocation is fine.
     fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
         match self {
-            Backing::Mem(v) => v
-                .get(offset as usize..offset as usize + len)
-                .map(<[u8]>::to_vec)
-                .ok_or_else(|| {
-                    StoreError::Corrupt(format!(
-                        "read [{offset}, {offset}+{len}) beyond {} bytes",
-                        v.len()
-                    ))
-                }),
+            Backing::Mem(_) | Backing::Map(_) => {
+                let all = self.as_slice().expect("Mem/Map backings are addressable");
+                slice_range(all, offset, len).map(<[u8]>::to_vec)
+            }
             Backing::File(f, _) => {
                 let mut buf = vec![0u8; len];
                 f.read_exact_at(&mut buf, offset).map_err(|e| {
@@ -62,20 +125,45 @@ impl Backing {
 }
 
 /// An open store: the decoded footer index plus a handle to the payload
-/// bytes. Only the footer is read at open time; chunk payloads are
-/// fetched and decoded lazily, per access, so queries that prune on zone
-/// maps never read the pruned payloads' bytes at all.
+/// bytes. Only the footer is read at open time — O(index), not O(file) —
+/// and chunk payloads are fetched, checksum-verified (lazily, once per
+/// chunk), and decoded per access, so queries that prune on zone maps
+/// never touch the pruned payloads' bytes at all.
 #[derive(Debug)]
 pub struct Store {
     backing: Backing,
     entries: Vec<IndexEntry>,
+    /// Lazy checksum latches, one per chunk: `None` until the chunk's
+    /// first byte access computes the FNV sum, then the latched verdict.
+    /// A failed verdict is permanent — every later access keeps erroring.
+    checks: Vec<OnceLock<bool>>,
     version: FormatVersion,
 }
 
 impl Store {
     /// Opens and validates a store file. Reads the header, trailer, and
-    /// footer only — O(index), not O(file).
+    /// footer only — O(index), not O(file). The payload region is
+    /// memory-mapped where the platform supports it, so subsequent chunk
+    /// accesses are zero-copy; otherwise (and whenever the kernel refuses
+    /// the mapping) the store falls back to positional reads, exactly as
+    /// [`Store::open_unmapped`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref();
+        let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
+        match Mmap::map(&file) {
+            Ok(Some(map)) => Self::load(Backing::Map(map)),
+            Ok(None) | Err(_) => {
+                let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
+                Self::load(Backing::File(file, len))
+            }
+        }
+    }
+
+    /// Opens a store with positional reads instead of a memory map: each
+    /// chunk access reads its payload into a per-thread scratch buffer.
+    /// This is [`Store::open`]'s fallback path, exposed for callers that
+    /// must not map the file (and for testing both paths).
+    pub fn open_unmapped(path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let path = path.as_ref();
         let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
         let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
@@ -125,9 +213,11 @@ impl Store {
             )));
         }
         let entries = decode_footer(&footer, footer_start, version)?;
+        let checks = entries.iter().map(|_| OnceLock::new()).collect();
         Ok(Self {
             backing,
             entries,
+            checks,
             version,
         })
     }
@@ -138,6 +228,17 @@ impl Store {
         self.version
     }
 
+    /// How this store's bytes are accessed: `"mmap"` (zero-copy mapped
+    /// file), `"memory"` ([`Store::from_bytes`]), or `"file"` (positional
+    /// reads).
+    pub fn backing_kind(&self) -> &'static str {
+        match self.backing {
+            Backing::Mem(_) => "memory",
+            Backing::Map(_) => "mmap",
+            Backing::File(..) => "file",
+        }
+    }
+
     /// The stream layout version of this store's chunk payloads.
     fn stream_version(&self) -> StreamVersion {
         match self.version {
@@ -146,9 +247,31 @@ impl Store {
         }
     }
 
+    /// The index entry for chunk `i`, or [`StoreError::InvalidArgument`]
+    /// when `i` is out of range.
+    fn try_entry(&self, i: usize) -> Result<&IndexEntry, StoreError> {
+        self.entries.get(i).ok_or_else(|| {
+            StoreError::InvalidArgument(format!(
+                "chunk index {i} out of range ({} chunks)",
+                self.entries.len()
+            ))
+        })
+    }
+
     /// The entropy coder of chunk `i`'s index payload, from the footer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`, like slice indexing. Callers holding
+    /// untrusted indices want [`Store::try_chunk_coder`].
     pub fn chunk_coder(&self, i: usize) -> Coder {
         self.entries[i].coder
+    }
+
+    /// Checked [`Store::chunk_coder`]: an out-of-range index is an
+    /// [`StoreError::InvalidArgument`], not a panic.
+    pub fn try_chunk_coder(&self, i: usize) -> Result<Coder, StoreError> {
+        Ok(self.try_entry(i)?.coder)
     }
 
     /// Number of chunks.
@@ -172,11 +295,23 @@ impl Store {
     }
 
     /// The zone map of chunk `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`, like slice indexing. Callers holding
+    /// untrusted indices want [`Store::try_zone_map`].
     pub fn zone_map(&self, i: usize) -> &ZoneMap {
         &self.entries[i].zone
     }
 
-    /// Total bytes of chunk payloads (excludes header, footer, trailer).
+    /// Checked [`Store::zone_map`]: an out-of-range index is an
+    /// [`StoreError::InvalidArgument`], not a panic.
+    pub fn try_zone_map(&self, i: usize) -> Result<&ZoneMap, StoreError> {
+        Ok(&self.try_entry(i)?.zone)
+    }
+
+    /// Total bytes of chunk payloads (excludes header, footer, trailer,
+    /// and any alignment padding between payloads).
     pub fn payload_bytes(&self) -> u64 {
         self.entries.iter().map(|e| e.len).sum()
     }
@@ -186,30 +321,95 @@ impl Store {
         self.backing.len()
     }
 
-    /// Raw serialized bytes of chunk `i`, verified against the footer's
-    /// payload checksum (bit rot in a payload is caught here, on read —
-    /// the trailer checksum only covers the footer).
-    pub fn chunk_bytes(&self, i: usize) -> Result<Vec<u8>, StoreError> {
+    /// Lazily verifies chunk `i`'s payload checksum: the FNV sum is
+    /// computed on the chunk's first byte access and the verdict latched,
+    /// so steady-state reads skip the hash entirely. On the zero-copy
+    /// backings every access sees the same bytes, so one verification
+    /// covers all of them; the positional-read backing re-reads bytes per
+    /// access but still hashes only the first (the file is immutable
+    /// under the atomic-rename ingest contract).
+    fn verify_payload(&self, i: usize, bytes: &[u8]) -> Result<(), StoreError> {
         let e = &self.entries[i];
-        let bytes = self.backing.read_at(e.offset, e.len as usize)?;
-        let actual = fnv1a64(&bytes);
-        if actual != e.payload_sum {
-            return Err(StoreError::Corrupt(format!(
-                "chunk {i} (label {}): payload checksum mismatch: stored {:#018x}, computed {actual:#018x}",
+        let ok = *self.checks[i].get_or_init(|| fnv1a64(bytes) == e.payload_sum);
+        if ok {
+            Ok(())
+        } else {
+            Err(StoreError::Corrupt(format!(
+                "chunk {i} (label {}): payload checksum mismatch (stored {:#018x})",
                 e.label, e.payload_sum
-            )));
+            )))
         }
-        Ok(bytes)
+    }
+
+    /// Runs `f` over chunk `i`'s raw payload bytes, checksum-verified
+    /// (lazily — see the struct docs). On the mmap and in-memory backings
+    /// the slice borrows the backing directly: no bytes are copied. On
+    /// the positional-read backing the payload lands in a per-thread
+    /// scratch buffer that is reused across accesses.
+    pub fn with_chunk_bytes<R>(
+        &self,
+        i: usize,
+        f: impl FnOnce(&[u8]) -> R,
+    ) -> Result<R, StoreError> {
+        let e = self.try_entry(i)?;
+        let len = usize::try_from(e.len).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "chunk {i}: length {} exceeds the address space",
+                e.len
+            ))
+        })?;
+        if let Some(all) = self.backing.as_slice() {
+            let bytes = slice_range(all, e.offset, len)?;
+            self.verify_payload(i, bytes)?;
+            return Ok(f(bytes));
+        }
+        let Backing::File(file, _) = &self.backing else {
+            unreachable!("non-addressable backings are positional-read files")
+        };
+        let mut buf = READ_SCRATCH.take();
+        buf.clear();
+        buf.resize(len, 0);
+        let read = file.read_exact_at(&mut buf, e.offset).map_err(|err| {
+            StoreError::Io(format!(
+                "cannot read [{}, {}+{len}): {err}",
+                e.offset, e.offset
+            ))
+        });
+        let out = read
+            .and_then(|()| self.verify_payload(i, &buf))
+            .map(|()| f(&buf));
+        READ_SCRATCH.set(buf);
+        out
+    }
+
+    /// Raw serialized bytes of chunk `i` as an owned buffer, verified
+    /// against the footer's payload checksum. [`Store::with_chunk_bytes`]
+    /// serves the same bytes without the copy.
+    pub fn chunk_bytes(&self, i: usize) -> Result<Vec<u8>, StoreError> {
+        self.with_chunk_bytes(i, <[u8]>::to_vec)
+    }
+
+    /// Decodes chunk `i` into `slot`, reusing the previous occupant's
+    /// buffers when the stream geometry matches (which it does for every
+    /// chunk of a store written through [`StoreWriter`]) — the
+    /// steady-state scan path decodes with no per-chunk heap allocation.
+    /// On success the slot holds the decoded chunk; only inspect it after
+    /// `Ok`.
+    pub fn chunk_into(&self, i: usize, slot: &mut Option<DynCompressed>) -> Result<(), StoreError> {
+        let version = self.version;
+        self.with_chunk_bytes(i, |bytes| match version {
+            FormatVersion::V1 => from_bytes_dyn_v1_into(bytes, slot),
+            FormatVersion::V2 => from_bytes_dyn_into(bytes, slot),
+        })??;
+        Ok(())
     }
 
     /// Decodes chunk `i` with runtime types read from its payload (the
     /// store's format version picks the stream parser).
     pub fn chunk(&self, i: usize) -> Result<DynCompressed, StoreError> {
-        let bytes = self.chunk_bytes(i)?;
-        Ok(match self.version {
-            FormatVersion::V1 => from_bytes_dyn_v1(&bytes)?,
-            FormatVersion::V2 => from_bytes_dyn(&bytes)?,
-        })
+        let mut slot = None;
+        self.chunk_into(i, &mut slot)?;
+        Ok(slot.expect("chunk_into fills the slot on success"))
     }
 
     /// Decodes chunk `i` at a statically-known type pair.
@@ -217,29 +417,28 @@ impl Store {
         &self,
         i: usize,
     ) -> Result<CompressedArray<P, I>, StoreError> {
-        let bytes = self.chunk_bytes(i)?;
-        Ok(match self.version {
-            FormatVersion::V1 => CompressedArray::<P, I>::from_bytes_v1(&bytes)?,
-            FormatVersion::V2 => CompressedArray::<P, I>::from_bytes(&bytes)?,
-        })
+        let version = self.version;
+        let parsed = self.with_chunk_bytes(i, |bytes| match version {
+            FormatVersion::V1 => CompressedArray::<P, I>::from_bytes_v1(bytes),
+            FormatVersion::V2 => CompressedArray::<P, I>::from_bytes(bytes),
+        })?;
+        Ok(parsed?)
     }
 
-    /// Header summary of chunk `i` from a bounded prefix read — types,
-    /// transform, coder, geometry, and the fixed-width baseline size —
-    /// without reading or verifying the whole payload. `store stat` uses
-    /// this to report entropy-coding ratios on arbitrarily large chunks.
+    /// Header summary of chunk `i` — types, transform, coder, geometry,
+    /// and the fixed-width baseline size — parsed from the
+    /// checksum-verified payload. The zero-copy backings peek the mapped
+    /// bytes in place; the positional-read backing reads the payload into
+    /// the per-thread scratch. Either way the bytes are verified before
+    /// parsing (lazily, on the chunk's first touch), so a bit-flipped
+    /// header yields [`StoreError::Corrupt`] — never a silently wrong
+    /// `StreamInfo`. (An earlier revision peeked an *unverified* 64 KiB
+    /// prefix, which corruption could turn into confident nonsense.)
     pub fn chunk_info(&self, i: usize) -> Result<StreamInfo, StoreError> {
-        let e = &self.entries[i];
-        // The header (prologue + shape + mask) is far smaller than this
-        // for any realistic geometry; fall back to the full payload only
-        // if a giant mask defeats the prefix.
-        let prefix_len = (e.len as usize).min(64 * 1024);
-        let prefix = self.backing.read_at(e.offset, prefix_len)?;
         let version = self.stream_version();
-        if let Some(info) = blazr::serialize::peek_info(&prefix, version) {
-            return Ok(info);
-        }
-        blazr::serialize::peek_info(&self.chunk_bytes(i)?, version).ok_or_else(|| {
+        let info = self.with_chunk_bytes(i, |bytes| blazr::serialize::peek_info(bytes, version))?;
+        info.ok_or_else(|| {
+            let e = &self.entries[i];
             StoreError::Corrupt(format!("chunk {i} (label {}): unreadable header", e.label))
         })
     }
@@ -382,11 +581,14 @@ impl Store {
     }
 
     /// The adjacent pair with the largest L2 jump (event detection).
+    /// Distances compare under `f64::total_cmp`, so non-finite data (a
+    /// chunk of infinities subtracts to NaN distances) surfaces the NaN
+    /// pair in the result instead of panicking mid-scan.
     pub fn largest_jump(&self) -> Result<Option<(u64, u64, f64)>, StoreError> {
         Ok(self
             .adjacent_l2()?
             .into_iter()
-            .max_by(|a, b| a.2.partial_cmp(&b.2).expect("finite distances")))
+            .max_by(|a, b| a.2.total_cmp(&b.2)))
     }
 
     /// First label at which this store deviates from `other` by more than
@@ -452,4 +654,25 @@ pub fn write_series<P: StorableReal, I: BinIndex>(
         w.append_compressed(label, series.frame(i))?;
     }
     w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_range_rejects_hostile_offsets_without_overflow() {
+        // Regression: `offset as usize + len` wrapped (a panic under
+        // debug-profile overflow checks) before the checked rewrite.
+        let bytes = [0u8; 16];
+        assert!(matches!(
+            slice_range(&bytes, u64::MAX, 16),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(slice_range(&bytes, u64::MAX - 7, 16).is_err());
+        assert!(slice_range(&bytes, 8, usize::MAX).is_err());
+        assert!(slice_range(&bytes, 17, 0).is_err());
+        assert_eq!(slice_range(&bytes, 8, 8).unwrap().len(), 8);
+        assert_eq!(slice_range(&bytes, 16, 0).unwrap().len(), 0);
+    }
 }

@@ -1,7 +1,9 @@
 //! Append-only store writer.
 
 use crate::error::{io_err, StoreError};
-use crate::format::{encode_footer, encode_trailer, fnv1a64, IndexEntry, HEADER_MAGIC};
+use crate::format::{
+    encode_footer, encode_trailer, fnv1a64, IndexEntry, CHUNK_ALIGN, HEADER_MAGIC,
+};
 use crate::zonemap::ZoneMap;
 use blazr::dynamic::{compress_dyn, DynCompressed};
 use blazr::{BinIndex, CompressedArray, IndexType, ScalarType, Settings};
@@ -134,6 +136,18 @@ impl StoreWriter {
         let coder = blazr::serialize::peek_coder(bytes).ok_or_else(|| {
             StoreError::Corrupt("serialized chunk has no readable coder tag".into())
         })?;
+        // v2 files 8-byte-align every payload so a mapped store hands out
+        // aligned slices. The zero pad bytes live in the gap *before* the
+        // payload: the footer's offset/len never cover them, and the
+        // footer decoder tolerates forward gaps (offsets may never run
+        // backwards). See `format::CHUNK_ALIGN`.
+        let pad = self.offset.next_multiple_of(CHUNK_ALIGN) - self.offset;
+        if pad != 0 {
+            self.file
+                .write_all(&[0u8; CHUNK_ALIGN as usize][..pad as usize])
+                .map_err(|e| io_err("write", &self.tmp_path, e))?;
+            self.offset += pad;
+        }
         self.file
             .write_all(bytes)
             .map_err(|e| io_err("write", &self.tmp_path, e))?;

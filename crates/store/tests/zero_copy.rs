@@ -1,0 +1,317 @@
+//! The zero-copy read path: every backing (mmap, positional-read file,
+//! in-memory buffer) serves bit-identical answers on v1 and v2 files at
+//! any thread count; lazy checksums still fail loudly (and permanently)
+//! on corruption; the panic-path sweep regressions stay fixed.
+
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_store::{Aggregate, Predicate, Query, Store, StoreError, StoreWriter};
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use std::fs;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("blazr-store-zero-copy");
+    fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn with_threads<R>(n: usize, op: impl FnOnce() -> R) -> R {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .unwrap()
+        .install(op)
+}
+
+/// A ramp dataset with real pruning power (chunk `t` holds values near
+/// `t`) and a non-trivial payload mix.
+fn frames(chunks: u64) -> Vec<(u64, NdArray<f64>)> {
+    let mut rng = Xoshiro256pp::seed_from_u64(99);
+    (0..chunks)
+        .map(|t| {
+            let f = NdArray::from_fn(vec![12, 16], |i| {
+                t as f64
+                    + ((i[0] * 5 + i[1]) as f64 / 9.0).sin() * 0.3
+                    + rng.uniform_in(-0.05, 0.05)
+            });
+            (t, f)
+        })
+        .collect()
+}
+
+fn write_store(path: &PathBuf, data: &[(u64, NdArray<f64>)]) {
+    let mut w = StoreWriter::create(
+        path,
+        Settings::new(vec![4, 4]).unwrap(),
+        ScalarType::F32,
+        IndexType::I16,
+    )
+    .unwrap();
+    for (label, frame) in data {
+        w.append(*label, frame).unwrap();
+    }
+    w.finish().unwrap();
+}
+
+/// Builds a legacy v1 file by hand (packed payloads, 88-byte entries) —
+/// same fabrication as the durability suite.
+fn fabricate_v1_file(data: &[(u64, NdArray<f64>)]) -> Vec<u8> {
+    use blazr_store::format::{encode_footer_v1, encode_trailer, fnv1a64, HEADER_MAGIC_V1};
+    use blazr_store::{IndexEntry, ZoneMap};
+    let settings = Settings::new(vec![4, 4]).unwrap();
+    let mut file: Vec<u8> = HEADER_MAGIC_V1.to_vec();
+    let mut entries = Vec::new();
+    for (label, frame) in data {
+        let c = blazr::compress::<f32, i16>(frame, &settings).unwrap();
+        let zone = ZoneMap::of(&c).unwrap();
+        let bytes = c.to_bytes_v1();
+        entries.push(IndexEntry {
+            label: *label,
+            offset: file.len() as u64,
+            len: bytes.len() as u64,
+            payload_sum: fnv1a64(&bytes),
+            coder: blazr::Coder::FixedWidth,
+            zone,
+        });
+        file.extend_from_slice(&bytes);
+    }
+    let footer = encode_footer_v1(&entries);
+    let trailer = encode_trailer(&footer);
+    file.extend_from_slice(&footer);
+    file.extend_from_slice(&trailer);
+    file
+}
+
+fn assert_bit_identical(a: &blazr_store::QueryResult, b: &blazr_store::QueryResult, what: &str) {
+    assert_eq!(a.value.to_bits(), b.value.to_bits(), "{what}: value");
+    assert_eq!(
+        a.error_bound.to_bits(),
+        b.error_bound.to_bits(),
+        "{what}: bound"
+    );
+    assert_eq!(a.stats, b.stats, "{what}: stats");
+    assert_eq!(a.bounds, b.bounds, "{what}: bounds");
+    assert_eq!(a.matched_labels, b.matched_labels, "{what}: matched set");
+}
+
+/// The acceptance-criteria matrix: mmap, positional-read, and in-memory
+/// backings produce bit-identical pruned and full-scan answers on both
+/// format versions at 1/2/4/8 threads.
+#[test]
+fn all_backings_agree_bit_identically_across_threads_and_versions() {
+    let data = frames(8);
+    let v2_path = tmp("backings-v2.blzs");
+    write_store(&v2_path, &data);
+    let v1_path = tmp("backings-v1.blzs");
+    fs::write(&v1_path, fabricate_v1_file(&data)).unwrap();
+
+    let q = Query {
+        from_label: 0,
+        to_label: u64::MAX,
+        predicate: Some(Predicate::ValueInRange { lo: 4.5, hi: 5.5 }),
+        aggregate: Aggregate::Mean,
+    };
+    for path in [&v2_path, &v1_path] {
+        let mapped = Store::open(path).unwrap();
+        let unmapped = Store::open_unmapped(path).unwrap();
+        let mem = Store::from_bytes(fs::read(path).unwrap()).unwrap();
+        assert_eq!(unmapped.backing_kind(), "file");
+        assert_eq!(mem.backing_kind(), "memory");
+        let reference = with_threads(1, || mapped.query_full_scan(&q).unwrap());
+        assert!(reference.chunks_scanned >= 1);
+        for n in [1usize, 2, 4, 8] {
+            for store in [&mapped, &unmapped, &mem] {
+                let kind = store.backing_kind();
+                let pruned = with_threads(n, || store.query(&q).unwrap());
+                let full = with_threads(n, || store.query_full_scan(&q).unwrap());
+                assert!(pruned.chunks_pruned >= 1, "{kind}@{n}: nothing pruned");
+                assert_bit_identical(&pruned, &reference, &format!("{kind}@{n} pruned"));
+                assert_bit_identical(&full, &reference, &format!("{kind}@{n} full"));
+            }
+        }
+        // Raw chunk bytes and header peeks agree across backings too.
+        for i in 0..mapped.len() {
+            let bytes = mapped.chunk_bytes(i).unwrap();
+            assert_eq!(bytes, unmapped.chunk_bytes(i).unwrap());
+            assert_eq!(bytes, mem.chunk_bytes(i).unwrap());
+            mapped
+                .with_chunk_bytes(i, |b| assert_eq!(b, &bytes[..]))
+                .unwrap();
+            assert_eq!(
+                mapped.chunk_info(i).unwrap().shape,
+                unmapped.chunk_info(i).unwrap().shape
+            );
+        }
+    }
+}
+
+/// v2 writers align every chunk payload to an 8-byte boundary; the
+/// padding is invisible to the index and to readers.
+#[test]
+fn v2_payloads_are_aligned_and_padding_is_transparent() {
+    let data = frames(6);
+    let p = tmp("aligned.blzs");
+    write_store(&p, &data);
+    let store = Store::open(&p).unwrap();
+    let mut padding = 0;
+    let mut watermark = 8u64; // header magic
+    for e in store.entries() {
+        assert_eq!(
+            e.offset % blazr_store::format::CHUNK_ALIGN,
+            0,
+            "chunk at offset {} is unaligned",
+            e.offset
+        );
+        assert!(e.offset >= watermark);
+        padding += e.offset - watermark;
+        watermark = e.offset + e.len;
+    }
+    // The pad bytes in the gaps are zero (and not counted as payload).
+    let bytes = fs::read(&p).unwrap();
+    let mut prev_end = 8usize;
+    for e in store.entries() {
+        assert!(bytes[prev_end..e.offset as usize].iter().all(|&b| b == 0));
+        prev_end = (e.offset + e.len) as usize;
+    }
+    assert_eq!(
+        store.file_bytes(),
+        bytes.len() as u64,
+        "file length bookkeeping"
+    );
+    assert!(store.payload_bytes() + padding <= store.file_bytes());
+    // Padded files still roundtrip chunk-for-chunk.
+    for (i, (_, frame)) in data.iter().enumerate() {
+        assert_eq!(store.chunk(i).unwrap().shape(), frame.shape());
+    }
+}
+
+/// Regression: out-of-range chunk indices used to panic via direct
+/// indexing; the checked accessors (and every payload accessor) now
+/// return `InvalidArgument`.
+#[test]
+fn out_of_range_chunk_indices_error_instead_of_panicking() {
+    let p = tmp("range.blzs");
+    write_store(&p, &frames(3));
+    let store = Store::open(&p).unwrap();
+    let n = store.len();
+    assert!(matches!(
+        store.try_chunk_coder(n),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        store.try_zone_map(n),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        store.chunk(n),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        store.chunk_bytes(usize::MAX),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    assert!(matches!(
+        store.chunk_info(n),
+        Err(StoreError::InvalidArgument(_))
+    ));
+    // In-range still works, through both flavors.
+    assert_eq!(store.try_chunk_coder(0).unwrap(), store.chunk_coder(0));
+    assert_eq!(store.try_zone_map(0).unwrap(), store.zone_map(0));
+}
+
+/// Regression: `largest_jump` panicked on NaN distances
+/// (`partial_cmp(..).expect("finite distances")`). Overflowing f16
+/// chunks decode to non-finite values whose adjacent-L2 distances are
+/// NaN; the total-order comparison now surfaces the NaN pair instead.
+#[test]
+fn largest_jump_survives_nan_distances() {
+    let p = tmp("nan-jump.blzs");
+    let mut w = StoreWriter::create(
+        &p,
+        Settings::new(vec![8, 8]).unwrap(),
+        ScalarType::F16,
+        IndexType::I16,
+    )
+    .unwrap();
+    // Each chunk compresses cleanly (DC ≈ ±8·5000 = ±40000, inside the
+    // f16 range), but the adjacent difference doubles that past the f16
+    // max — the paper's f16-vs-bf16 overflow observation — so the
+    // combined block's scale is infinite, its rebinned coefficients
+    // reconstruct as `0·inf = NaN`, and the L2 distance is NaN.
+    for t in 0..3u64 {
+        let sign = if t % 2 == 0 { 1.0 } else { -1.0 };
+        let f = NdArray::from_fn(vec![8, 8], |_| 5000.0 * sign);
+        w.append(t, &f).unwrap();
+    }
+    w.finish().unwrap();
+    let store = Store::open(&p).unwrap();
+    let dists = store.adjacent_l2().unwrap();
+    assert!(
+        dists.iter().any(|d| d.2.is_nan()),
+        "premise: overflowing f16 chunks should produce NaN distances, got {dists:?}"
+    );
+    let jump = store.largest_jump().unwrap().expect("adjacent pairs exist");
+    // f64 total order ranks NaN above every finite distance.
+    assert!(jump.2.is_nan());
+}
+
+/// A bit-flipped payload header can never produce a silently wrong
+/// `chunk_info`: the payload is checksum-verified before the peek, on
+/// the zero-copy backings and the positional-read backing alike.
+#[test]
+fn chunk_info_on_corrupt_payload_errors_on_every_backing() {
+    let data = frames(4);
+    let p = tmp("info-corrupt.blzs");
+    write_store(&p, &data);
+    let clean = Store::open(&p).unwrap();
+    let victim = 1usize;
+    let mut bytes = fs::read(&p).unwrap();
+    // Flip a bit inside the victim's header region (first payload byte
+    // after the type tags — shape/coder territory).
+    bytes[clean.entries()[victim].offset as usize + 2] ^= 0x04;
+    let corrupt_path = tmp("info-corrupt-flipped.blzs");
+    fs::write(&corrupt_path, &bytes).unwrap();
+    for store in [
+        Store::open(&corrupt_path).unwrap(),
+        Store::open_unmapped(&corrupt_path).unwrap(),
+        Store::from_bytes(bytes).unwrap(),
+    ] {
+        let kind = store.backing_kind();
+        match store.chunk_info(victim) {
+            Err(StoreError::Corrupt(msg)) => {
+                assert!(msg.contains("checksum"), "{kind}: {msg}")
+            }
+            other => panic!("{kind}: expected Corrupt, got {other:?}"),
+        }
+        // Untouched chunks still peek fine.
+        assert_eq!(store.chunk_info(0).unwrap().shape, vec![12, 16]);
+    }
+}
+
+/// The checksum verdict is latched once per chunk: a corrupt chunk keeps
+/// erroring on every later access (no flip-flop), and a clean chunk is
+/// hashed only on first touch (repeat reads stay consistent).
+#[test]
+fn lazy_checksum_verdict_is_latched() {
+    let data = frames(4);
+    let p = tmp("latch.blzs");
+    write_store(&p, &data);
+    let clean = Store::open(&p).unwrap();
+    let victim = 2usize;
+    let mut bytes = fs::read(&p).unwrap();
+    let mid = clean.entries()[victim].offset + clean.entries()[victim].len / 2;
+    bytes[mid as usize] ^= 0x10;
+    let store = Store::from_bytes(bytes).unwrap(); // footer intact: opens
+    for round in 0..3 {
+        assert!(
+            matches!(store.chunk(victim), Err(StoreError::Corrupt(_))),
+            "round {round}: the latched failure must persist"
+        );
+        assert!(store.chunk(0).is_ok(), "round {round}");
+        assert!(
+            store.query(&Query::all(Aggregate::Sum)).is_err(),
+            "round {round}: scans over the damaged chunk keep failing"
+        );
+    }
+}

@@ -37,6 +37,20 @@ pub fn ceil_div(s: &[usize], i: &[usize]) -> Vec<usize> {
         .collect()
 }
 
+/// `num_elements(&ceil_div(s, i))` without materializing the quotient
+/// shape — per-chunk hot paths (stream decode, compressed-space
+/// statistics) call this once per chunk and must not allocate.
+pub fn ceil_div_count(s: &[usize], i: &[usize]) -> usize {
+    assert_eq!(s.len(), i.len(), "dimensionality mismatch");
+    s.iter()
+        .zip(i)
+        .map(|(&a, &b)| {
+            assert!(b > 0, "zero block extent");
+            a.div_ceil(b)
+        })
+        .product()
+}
+
 /// Element-wise product of shapes (`b ⊙ i`, the padded shape).
 pub fn elementwise_mul(a: &[usize], b: &[usize]) -> Vec<usize> {
     assert_eq!(a.len(), b.len(), "dimensionality mismatch");

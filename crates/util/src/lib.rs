@@ -14,12 +14,16 @@
 //! * [`stats`] — scalar statistics helpers (Welford mean/variance, extrema)
 //!   used by tests and the benchmark harness.
 //! * [`csv`] — a tiny CSV emitter for the figure-regeneration binaries.
-#![forbid(unsafe_code)]
+//! * [`mmap`] — a `libc`-free read-only memory map used by the store's
+//!   zero-copy read path (the crate's one `unsafe` island; everything
+//!   else stays `deny(unsafe_code)`).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bits;
 pub mod csv;
 pub mod huffman;
+pub mod mmap;
 pub mod negabinary;
 pub mod rng;
 pub mod stats;

@@ -1,0 +1,304 @@
+//! Read-only memory-mapped files without `libc`.
+//!
+//! The store's zero-copy read path wants chunk payloads as `&[u8]`
+//! slices straight out of the page cache. The build environment has no
+//! crates.io access (so no `libc`/`memmap2`), and `std` exposes no
+//! mapping API — this module is the small shim: it issues the `mmap` /
+//! `munmap` system calls directly via `core::arch::asm!` on Linux
+//! x86_64/aarch64 and wraps the mapping in a safe, `Send + Sync`,
+//! `Deref<Target = [u8]>` handle. On any other platform [`Mmap::map`]
+//! returns `Ok(None)` and callers fall back to positional reads.
+//!
+//! # Safety contract
+//!
+//! A mapping aliases the file: if another process truncates the file
+//! while it is mapped, touching the vanished pages raises `SIGBUS`.
+//! Callers must only map files with immutable contents — the store
+//! qualifies because finished store files are only ever replaced whole
+//! via atomic rename (the reader keeps the old inode's pages), never
+//! truncated or rewritten in place.
+
+// The one sanctioned unsafe island of the workspace (see the workspace
+// `unsafe_code = "deny"` lint): raw syscalls plus the slice construction
+// over the returned pages, each with its invariants argued inline.
+#![allow(unsafe_code)]
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// Supported platforms: Linux on x86_64 or aarch64 (the syscall ABI the
+/// shim encodes). Everywhere else `map` reports "unsupported".
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::os::unix::io::RawFd;
+
+    /// `PROT_READ`.
+    const PROT_READ: usize = 1;
+    /// `MAP_PRIVATE`: a read-only private mapping; writes by others via
+    /// the file are not our concern (store files are immutable).
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: a plain Linux syscall; `syscall` clobbers rcx/r11 and
+        // the flags, which the asm block declares.
+        unsafe {
+            core::arch::asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        // SAFETY: a plain Linux syscall via `svc 0`.
+        unsafe {
+            core::arch::asm!(
+                "svc 0",
+                in("x8") nr,
+                inlateout("x0") a as isize => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                options(nostack),
+            );
+        }
+        ret
+    }
+
+    /// Maps `len` readable bytes of `fd` starting at offset 0. Returns
+    /// the mapping's base address.
+    pub(super) fn mmap_readonly(fd: RawFd, len: usize) -> std::io::Result<*const u8> {
+        // SAFETY: arguments follow the mmap(2) ABI; the kernel validates
+        // them and returns -errno on failure, which we decode below. A
+        // successful MAP_PRIVATE|PROT_READ mapping of a file we hold
+        // open cannot violate memory safety by itself.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        if (-4095..0).contains(&ret) {
+            return Err(std::io::Error::from_raw_os_error(-ret as i32));
+        }
+        Ok(ret as *const u8)
+    }
+
+    /// Unmaps a mapping produced by [`mmap_readonly`].
+    pub(super) fn munmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are
+        // unmapped exactly once (Drop). Failure is unreachable for a
+        // valid mapping and would only leak address space, so the
+        // return value is deliberately ignored.
+        let _ = unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+    }
+}
+
+/// A read-only memory mapping of a whole file.
+///
+/// Dereferences to `&[u8]` over the file's bytes. The mapping is
+/// released on drop. See the module docs for the immutable-file safety
+/// contract.
+pub struct Mmap {
+    /// Base address of the mapping; dangling (never dereferenced) when
+    /// `len == 0`, because Linux rejects zero-length mappings.
+    ptr: *const u8,
+    len: usize,
+}
+
+// SAFETY: the mapping is read-only and private; shared `&[u8]` access
+// from any thread is exactly what PROT_READ provides, and munmap only
+// happens in Drop (unique access).
+unsafe impl Send for Mmap {}
+// SAFETY: as above — concurrent reads of immutable pages are safe.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps all of `file` read-only. Returns `Ok(None)` on platforms the
+    /// shim does not support (callers should fall back to positional
+    /// reads) and `Err` when the platform supports mapping but the
+    /// kernel refused this file.
+    pub fn map(file: &File) -> io::Result<Option<Mmap>> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidInput, "file exceeds address space")
+        })?;
+        Self::map_len(file, len)
+    }
+
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    fn map_len(file: &File, len: usize) -> io::Result<Option<Mmap>> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            // Zero-length mappings are invalid; serve an empty slice.
+            return Ok(Some(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            }));
+        }
+        let ptr = sys::mmap_readonly(file.as_raw_fd(), len)?;
+        Ok(Some(Mmap { ptr, len }))
+    }
+
+    #[cfg(not(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    )))]
+    fn map_len(_file: &File, _len: usize) -> io::Result<Option<Mmap>> {
+        Ok(None)
+    }
+
+    /// Length of the mapped file in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for a mapping of an empty file.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is the base of a live PROT_READ mapping of
+        // exactly `len` bytes (established in `map_len`, released only
+        // in Drop), and the mapped file is immutable per the module
+        // contract, so the bytes are valid, initialized, and unaliased
+        // by writers for the borrow's lifetime.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if self.len > 0 {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mmap").field("len", &self.len).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("blazr-util-mmap");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let p = tmp("contents.bin");
+        let payload: Vec<u8> = (0..=255u8).cycle().take(10_000).collect();
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(&payload)
+            .unwrap();
+        let file = std::fs::File::open(&p).unwrap();
+        match Mmap::map(&file).unwrap() {
+            Some(m) => {
+                assert_eq!(m.len(), payload.len());
+                assert_eq!(&m[..], &payload[..]);
+                // A second independent mapping sees the same bytes.
+                let m2 = Mmap::map(&file).unwrap().unwrap();
+                assert_eq!(&m2[..], &m[..]);
+            }
+            None => eprintln!("mmap unsupported on this platform; fallback path covers it"),
+        }
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let p = tmp("empty.bin");
+        std::fs::File::create(&p).unwrap();
+        let file = std::fs::File::open(&p).unwrap();
+        if let Some(m) = Mmap::map(&file).unwrap() {
+            assert!(m.is_empty());
+            assert_eq!(&m[..], &[] as &[u8]);
+        }
+    }
+
+    #[test]
+    fn mapping_survives_file_handle_drop_and_rename_over() {
+        // The atomic-rename ingest pattern: a reader's mapping must keep
+        // seeing the old inode after the path is renamed over.
+        let p = tmp("rename.bin");
+        std::fs::File::create(&p)
+            .unwrap()
+            .write_all(b"old-bytes")
+            .unwrap();
+        let file = std::fs::File::open(&p).unwrap();
+        let Some(m) = Mmap::map(&file).unwrap() else {
+            return;
+        };
+        drop(file);
+        let p2 = tmp("rename-new.bin");
+        std::fs::File::create(&p2)
+            .unwrap()
+            .write_all(b"new-bytes")
+            .unwrap();
+        std::fs::rename(&p2, &p).unwrap();
+        assert_eq!(&m[..], b"old-bytes");
+    }
+}

@@ -10,6 +10,7 @@
 
 use blazr::{IndexType, ScalarType, Settings};
 use blazr_store::{Aggregate, Predicate, Query, Store, StoreWriter};
+use blazr_telemetry as tel;
 use blazr_tensor::NdArray;
 use blazr_util::rng::Xoshiro256pp;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -45,26 +46,49 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 /// path allocated per chunk per query (payload copy + decode buffers +
 /// rANS table expansion): ~150 on this dataset.
 fn assert_query_allocations(store: &Store, q: &Query) {
+    // Feed the same counter to the telemetry layer, so `store.query`
+    // records its own per-query allocation delta into the
+    // `store.query.allocs` histogram — the audit below cross-checks the
+    // library's self-report against the direct measurement.
+    tel::set_alloc_probe(|| ALLOCS.load(Ordering::Relaxed));
+    tel::set_mode(tel::Mode::Counters);
     let pool = rayon::ThreadPoolBuilder::new()
         .num_threads(1)
         .build()
         .unwrap();
     pool.install(|| {
+        // Warm-up also absorbs telemetry's one-time registration and
+        // shard allocations, keeping them out of the steady-state count.
         store.query(q).unwrap();
         store.query(q).unwrap();
+        tel::registry().reset();
         const RUNS: u64 = 32;
         let before = ALLOCS.load(Ordering::Relaxed);
         for _ in 0..RUNS {
             std::hint::black_box(store.query(q).unwrap());
         }
         let per_query = (ALLOCS.load(Ordering::Relaxed) - before) / RUNS;
-        println!("alloc-audit: {per_query} heap allocations per steady-state mapped query");
+        let snap = tel::registry().snapshot();
+        let self_report = snap
+            .histogram("store.query.allocs")
+            .map(|h| h.mean())
+            .unwrap_or(f64::NAN);
+        println!(
+            "alloc-audit: {per_query} heap allocations per steady-state mapped query \
+             (telemetry self-report: {self_report:.1})"
+        );
         assert!(
             per_query <= 8,
             "steady-state mapped query made {per_query} allocations \
              (want ~3, the result vectors — the zero-copy path regressed)"
         );
+        assert!(
+            self_report.is_finite() && self_report <= per_query as f64,
+            "store.query.allocs self-report ({self_report}) disagrees with \
+             the direct audit ({per_query}) — the probe hookup broke"
+        );
     });
+    tel::set_mode(tel::Mode::Off);
 }
 
 /// Chunks per store and rows/cols per chunk (block-aligned so zone maps

@@ -1,93 +1,81 @@
-//! Ad-hoc stage breakdown for the codec hot path.
+//! Stage breakdown for the codec hot path, driven by the telemetry layer.
 //!
-//! Prints wall times for the individual pipeline stages (dtype conversion,
-//! blocking, forward transform) next to the fused `compress`/`decompress`
-//! entry points, so a perf regression can be attributed to a stage without
-//! firing up a profiler. Not a benchmark target — run it directly:
+//! Runs the compress/decompress/serialize workloads with
+//! `BLAZR_TELEMETRY`-style spans forced on and prints the span and stage
+//! histograms the instrumented library recorded — per-block
+//! gather/transform/bin laps, entropy-coding stages, whole-pipeline
+//! spans, and the coder/thread-pool counters — so a perf regression can
+//! be attributed to a stage without firing up a profiler. Not a
+//! benchmark target — run it directly:
 //!
 //! ```text
 //! BLAZR_NUM_THREADS=1 cargo run --release -p blazr-bench --bin profile_codec
 //! ```
 
-use blazr::coder::histogram::{Histogram, SymbolTable};
 use blazr::{compress, compress_values, Coder, CompressedArray, Settings};
-use blazr_tensor::blocking::Blocked;
+use blazr_telemetry as tel;
 use blazr_tensor::NdArray;
-use blazr_transform::BlockTransform;
 use blazr_util::rng::Xoshiro256pp;
-use std::time::Instant;
+
+const REPS: usize = 5;
 
 fn main() {
+    tel::set_mode(tel::Mode::Spans);
+
     let n = 1024usize;
     let mut rng = Xoshiro256pp::seed_from_u64(n as u64);
     let a = NdArray::from_fn(vec![n, n], |_| rng.uniform());
     let settings = Settings::new(vec![8, 8]).unwrap();
-    let t = |label: &str, f: &mut dyn FnMut()| {
-        let t0 = Instant::now();
-        for _ in 0..5 {
-            f();
-        }
-        println!("{label:<24} {:?}", t0.elapsed() / 5);
-    };
 
     let conv: NdArray<f32> = a.convert();
-    t("convert", &mut || {
-        std::hint::black_box(a.convert::<f32>());
-    });
-    t("partition(gather)", &mut || {
-        std::hint::black_box(Blocked::partition(&conv, &[8, 8]));
-    });
-    let bt = BlockTransform::<f32>::new(settings.transform, &settings.block_shape);
-    let mut blocked = Blocked::partition(&conv, &[8, 8]);
-    t("forward-all-blocks", &mut || {
-        let mut scratch = vec![0.0f32; 64];
-        for kb in 0..blocked.block_count() {
-            bt.forward(blocked.block_mut(kb), &mut scratch);
-        }
-    });
-    t("compress(full)", &mut || {
+    for _ in 0..REPS {
         std::hint::black_box(compress::<f32, i16>(&a, &settings).unwrap());
-    });
-    t("compress_values", &mut || {
         std::hint::black_box(compress_values::<f32, i16>(&conv, &settings).unwrap());
-    });
+    }
     let c: CompressedArray<f32, i16> = compress(&a, &settings).unwrap();
-    t("decompress", &mut || {
+    for _ in 0..REPS {
         std::hint::black_box(c.decompress());
-    });
-    t("decompress_values", &mut || {
         std::hint::black_box(c.decompress_values());
-    });
+    }
 
-    // Entropy-coding stage breakdown, on a smooth field so the rANS
-    // path does real work (random bins degenerate to the fixed-width
-    // fallback regime).
-    println!("-- entropy stages (smooth field) --");
+    // Entropy-coding stages, on a smooth field so the rANS path does real
+    // work (random bins degenerate to the fixed-width fallback regime).
     let smooth = NdArray::from_fn(vec![n, n], |ix| {
         (ix[0] as f64 * 0.013).sin() + (ix[1] as f64 * 0.017).cos()
     });
     let sc: CompressedArray<f32, i16> = compress(&smooth, &settings).unwrap();
-    t("histogram", &mut || {
-        std::hint::black_box(Histogram::of(sc.indices()));
-    });
-    let hist = Histogram::of(sc.indices());
-    t("table-optimize", &mut || {
-        std::hint::black_box(SymbolTable::optimize(&hist));
-    });
-    t("to_bytes(fixed)", &mut || {
+    for _ in 0..REPS {
         std::hint::black_box(sc.to_bytes_with(Coder::FixedWidth));
-    });
-    t("to_bytes(rans)", &mut || {
         std::hint::black_box(sc.to_bytes_with(Coder::Rans));
-    });
+    }
     let fixed = sc.to_bytes_with(Coder::FixedWidth);
     let rans = sc.to_bytes_with(Coder::Rans);
-    t("from_bytes(fixed)", &mut || {
+    for _ in 0..REPS {
         std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&fixed).unwrap());
-    });
-    t("from_bytes(rans)", &mut || {
         std::hint::black_box(CompressedArray::<f32, i16>::from_bytes(&rans).unwrap());
-    });
+    }
+
+    let snap = tel::registry().snapshot();
+    println!(
+        "{:<28} {:>9} {:>12} {:>12} {:>12} {:>12}",
+        "span/stage (ns)", "count", "p50", "p99", "mean", "total"
+    );
+    for h in &snap.histograms {
+        println!(
+            "{:<28} {:>9} {:>12} {:>12} {:>12.0} {:>12}",
+            h.name,
+            h.count,
+            h.p50,
+            h.p99,
+            h.mean(),
+            h.sum
+        );
+    }
+    println!();
+    for (name, v) in &snap.counters {
+        println!("{name:<28} {v:>9}");
+    }
+    println!();
     println!(
         "rans/fixed size      {:.3}x ({} -> {} bytes)",
         rans.len() as f64 / fixed.len() as f64,

@@ -1,0 +1,151 @@
+//! Store observability report: what zone-map pruning and lazy checksums
+//! buy on the ramp dataset, measured through the telemetry layer.
+//!
+//! Builds a 16-chunk value-ramp store, runs a selective query both ways
+//! (pruned and full-scan) with counters on, and prints one greppable
+//! line per fact (CI lifts the `prune` and `checksum` lines into the job
+//! summary). Writes the machine-readable `crates/bench/BENCH_store.json`
+//! next to `BENCH_codec.json`, and exits non-zero if pruning stops
+//! paying — the regression gate for the zone-map path.
+//!
+//! ```text
+//! cargo run --release -p blazr-bench --bin store_report
+//! ```
+
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_store::{Aggregate, Predicate, Query, Store, StoreWriter};
+use blazr_telemetry as tel;
+use blazr_tensor::NdArray;
+use blazr_util::rng::Xoshiro256pp;
+use std::time::Instant;
+
+const CHUNKS: u64 = 16;
+const ROWS: usize = 64;
+const COLS: usize = 64;
+
+fn main() {
+    tel::set_mode(tel::Mode::Counters);
+
+    let path = std::env::temp_dir().join("blazr-store-report.blzs");
+    let mut w = StoreWriter::create(
+        &path,
+        Settings::new(vec![8, 8]).unwrap(),
+        ScalarType::F32,
+        IndexType::I16,
+    )
+    .unwrap();
+    let mut rng = Xoshiro256pp::seed_from_u64(77);
+    for t in 0..CHUNKS {
+        let frame = NdArray::from_fn(vec![ROWS, COLS], |_| t as f64 + rng.uniform_in(-0.4, 0.4));
+        w.append(t, &frame).unwrap();
+    }
+    w.finish().unwrap();
+
+    // Measure the query path alone: reset away the ingest-side counters.
+    tel::registry().reset();
+
+    let t0 = Instant::now();
+    let store = Store::open(&path).unwrap();
+    let open_s = t0.elapsed().as_secs_f64();
+
+    // Chunk t holds values near t, so this selects ~1 of the 16 chunks
+    // and the zone maps can prune the rest from the footer alone.
+    let selective = Query {
+        from_label: 0,
+        to_label: u64::MAX,
+        predicate: Some(Predicate::ValueInRange { lo: 7.8, hi: 8.2 }),
+        aggregate: Aggregate::Mean,
+    };
+    let pruned = store.query(&selective).unwrap();
+    let scanned = store.query_full_scan(&selective).unwrap();
+    assert_eq!(
+        (pruned.value, pruned.matched_labels.clone()),
+        (scanned.value, scanned.matched_labels.clone()),
+        "pruned and full-scan queries disagree"
+    );
+
+    const REPS: u32 = 20;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(store.query(&selective).unwrap());
+    }
+    let pruned_s = t0.elapsed().as_secs_f64() / REPS as f64;
+    let t0 = Instant::now();
+    for _ in 0..REPS {
+        std::hint::black_box(store.query_full_scan(&selective).unwrap());
+    }
+    let full_s = t0.elapsed().as_secs_f64() / REPS as f64;
+
+    let snap = tel::registry().snapshot();
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    let verified = c("store.checksum.verified");
+    let failed = c("store.checksum.failed");
+
+    println!(
+        "open backing={} time_us={:.0}",
+        store.backing_kind(),
+        open_s * 1e6
+    );
+    println!(
+        "prune ratio={:.3} pruned={} scanned={} in_range={} payload_bytes={}",
+        pruned.prune_ratio(),
+        pruned.chunks_pruned,
+        pruned.chunks_scanned,
+        pruned.chunks_in_range,
+        pruned.payload_bytes_read
+    );
+    println!(
+        "checksum verified={verified} failed={failed} chunk_reads={} bytes_read={}",
+        c("store.chunk_reads"),
+        c("store.bytes_read")
+    );
+    println!(
+        "throughput query=selective pruned_us={:.0} full_scan_us={:.0} speedup={:.1}x",
+        pruned_s * 1e6,
+        full_s * 1e6,
+        full_s / pruned_s
+    );
+
+    let json = format!(
+        "{{\n  \"backing\": \"{}\",\n  \"chunks\": {CHUNKS},\n  \
+         \"prune_ratio\": {:.4},\n  \"chunks_pruned\": {},\n  \
+         \"chunks_scanned\": {},\n  \"payload_bytes_read\": {},\n  \
+         \"checksum_verified\": {verified},\n  \"checksum_failed\": {failed},\n  \
+         \"open_us\": {:.1},\n  \"selective_pruned_us\": {:.1},\n  \
+         \"selective_full_scan_us\": {:.1}\n}}\n",
+        store.backing_kind(),
+        pruned.prune_ratio(),
+        pruned.chunks_pruned,
+        pruned.chunks_scanned,
+        pruned.payload_bytes_read,
+        open_s * 1e6,
+        pruned_s * 1e6,
+        full_s * 1e6,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_store.json");
+    std::fs::write(out, json).expect("write BENCH_store.json");
+    println!("wrote {out}");
+    std::fs::remove_file(&path).ok();
+
+    // Regression gates: the ramp must let zone maps prune most chunks,
+    // lazy checksums must verify only what was read (and never fail),
+    // and the pruned query must actually be cheaper in bytes.
+    let mut bad = false;
+    if pruned.prune_ratio() < 0.5 {
+        eprintln!("FAIL: prune ratio {:.3} < 0.5", pruned.prune_ratio());
+        bad = true;
+    }
+    if failed != 0 {
+        eprintln!("FAIL: {failed} checksum verification failure(s)");
+        bad = true;
+    }
+    if verified > CHUNKS {
+        eprintln!(
+            "FAIL: {verified} checksum verifications > {CHUNKS} chunks — the lazy latch broke"
+        );
+        bad = true;
+    }
+    if bad {
+        std::process::exit(1);
+    }
+}

@@ -6,6 +6,7 @@ use blazr::dynamic::{compress_dyn, from_bytes_dyn};
 use blazr::ops::SsimParams;
 use blazr::tune::{tune_for_linf, TuneOptions};
 use blazr::{IndexType, PruningMask, ScalarType, Settings};
+use blazr_telemetry as tel;
 use std::fs;
 use std::path::Path;
 
@@ -24,7 +25,9 @@ USAGE:
                    [--block 8x8] [--float f32] [--index i16]
   blazr store query  <store.blzs> [--from L] [--to L] [--min V] [--max V]
                    [--mean-min V] [--mean-max V] [--agg mean] [--full-scan]
-  blazr store stat   <store.blzs>
+  blazr store stat   <store.blzs> [--json]
+  blazr telemetry  <store.blzs> [query options as above] [--full-scan]
+                   [--mode counters|spans] [--format json|prom]
   blazr help
 
 Raw files are flat little-endian float64. Compressed files use the paper's
@@ -32,7 +35,12 @@ Raw files are flat little-endian float64. Compressed files use the paper's
 (.blzs) hold many compressed chunks behind a zone-map index: `ingest`
 splits the input along axis 0 into chunks of --chunk-rows rows (labeled by
 start row), `query` aggregates in compressed space with zone-map pruning,
-and `stat` prints the index without touching any chunk payload.";
+and `stat` prints the index without touching any chunk payload.
+
+`telemetry` runs a store query with metric recording forced on and dumps
+the registry snapshot to stdout — JSON by default, Prometheus text with
+--format prom (the human-readable query result goes to stderr). The same
+metrics are available in any run through BLAZR_TELEMETRY=counters|spans.";
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let Some(cmd) = argv.first() else {
@@ -47,6 +55,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         "diff" => diff_cmd(rest),
         "tune" => tune_cmd(rest),
         "store" => store_cmd(rest),
+        "telemetry" => telemetry_cmd(rest),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
             Ok(())
@@ -291,13 +300,11 @@ fn store_ingest_cmd(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn store_query_cmd(argv: &[String]) -> Result<(), String> {
-    use blazr_store::{Aggregate, Predicate, Query, Store};
-    let args = Args::parse(argv, &["full-scan"])?;
-    let input = args
-        .positionals
-        .first()
-        .ok_or("store query needs a store file")?;
+/// Builds a [`blazr_store::Query`] from the shared `store query` /
+/// `telemetry` option set (`--from/--to/--min/--max/--mean-min/
+/// --mean-max/--agg`).
+fn parse_query(args: &Args) -> Result<blazr_store::Query, String> {
+    use blazr_store::{Aggregate, Predicate, Query};
     let parse_f64 = |name: &str| -> Result<Option<f64>, String> {
         args.option(name)
             .map(|v| v.parse().map_err(|e| format!("bad --{name}: {e}")))
@@ -328,13 +335,23 @@ fn store_query_cmd(argv: &[String]) -> Result<(), String> {
         }),
         (false, false) => None,
     };
-    let q = Query {
+    Ok(Query {
         from_label: parse_u64("from", 0)?,
         to_label: parse_u64("to", u64::MAX)?,
         predicate,
         aggregate: Aggregate::parse(args.option("agg").unwrap_or("mean"))
             .map_err(|e| e.to_string())?,
-    };
+    })
+}
+
+fn store_query_cmd(argv: &[String]) -> Result<(), String> {
+    use blazr_store::Store;
+    let args = Args::parse(argv, &["full-scan"])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store query needs a store file")?;
+    let q = parse_query(&args)?;
     let store = Store::open(input).map_err(|e| e.to_string())?;
     let r = if args.has_flag("full-scan") {
         store.query_full_scan(&q)
@@ -353,18 +370,76 @@ fn store_query_cmd(argv: &[String]) -> Result<(), String> {
         r.chunks_scanned,
         r.matched_labels.len()
     );
+    println!(
+        "prune ratio    : {:.1}% ({} payload bytes read)",
+        r.prune_ratio() * 100.0,
+        r.payload_bytes_read
+    );
     println!("matched labels : {:?}", r.matched_labels);
     Ok(())
 }
 
+/// `blazr telemetry`: run a store query with metric recording forced on
+/// and dump the registry snapshot to stdout (the human-readable query
+/// result goes to stderr, keeping stdout machine-parseable).
+fn telemetry_cmd(argv: &[String]) -> Result<(), String> {
+    use blazr_store::Store;
+    let args = Args::parse(argv, &["full-scan"])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("telemetry needs a store file")?;
+    let mode = match args.option("mode").unwrap_or("spans") {
+        "counters" => tel::Mode::Counters,
+        "spans" => tel::Mode::Spans,
+        other => return Err(format!("unknown --mode {other:?} (want counters|spans)")),
+    };
+    let format = args.option("format").unwrap_or("json");
+    if !matches!(format, "json" | "prom" | "prometheus") {
+        return Err(format!("unknown --format {format:?} (want json|prom)"));
+    }
+    tel::set_mode(mode);
+    let q = parse_query(&args)?;
+    let store = Store::open(input).map_err(|e| e.to_string())?;
+    let r = if args.has_flag("full-scan") {
+        store.query_full_scan(&q)
+    } else {
+        store.query(&q)
+    }
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "query: value {:.9e} (error bound {:.3e}); {} scanned / {} pruned of {} chunks",
+        r.value, r.error_bound, r.chunks_scanned, r.chunks_pruned, r.chunks_in_range
+    );
+    let snap = tel::registry().snapshot();
+    match format {
+        "json" => print!("{}", snap.to_json()),
+        _ => print!("{}", snap.to_prometheus()),
+    }
+    Ok(())
+}
+
+/// A finite f64 as a JSON number, non-finite as `null` (JSON has no
+/// Infinity/NaN literals).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:e}")
+    } else {
+        "null".into()
+    }
+}
+
 fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
     use blazr_store::Store;
-    let args = Args::parse(argv, &[])?;
+    let args = Args::parse(argv, &["json"])?;
     let input = args
         .positionals
         .first()
         .ok_or("store stat needs a store file")?;
     let store = Store::open(input).map_err(|e| e.to_string())?;
+    if args.has_flag("json") {
+        return store_stat_json(input, &store);
+    }
     println!("file           : {input}");
     println!("format         : {:?}", store.format_version());
     println!("backing        : {}", store.backing_kind());
@@ -416,6 +491,70 @@ fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
             );
         }
     }
+    Ok(())
+}
+
+/// `store stat --json`: the same index accounting as the text form, as
+/// one JSON object on stdout (hand-rolled — the workspace takes no
+/// external dependencies).
+fn store_stat_json(input: &str, store: &blazr_store::Store) -> Result<(), String> {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"file\": \"{}\",\n",
+        input.replace('"', "\\\"")
+    ));
+    out.push_str(&format!(
+        "  \"format\": \"{:?}\",\n",
+        store.format_version()
+    ));
+    out.push_str(&format!("  \"backing\": \"{}\",\n", store.backing_kind()));
+    out.push_str(&format!("  \"chunks\": {},\n", store.len()));
+    out.push_str(&format!("  \"file_bytes\": {},\n", store.file_bytes()));
+    out.push_str(&format!(
+        "  \"payload_bytes\": {},\n",
+        store.payload_bytes()
+    ));
+    match store.chunk_types() {
+        Some((ft, it)) => out.push_str(&format!(
+            "  \"float_type\": \"{ft}\",\n  \"index_type\": \"{it}\",\n"
+        )),
+        None => out.push_str("  \"float_type\": null,\n  \"index_type\": null,\n"),
+    }
+    let mut counts = std::collections::BTreeMap::new();
+    let mut fixed_bits = 0u64;
+    for i in 0..store.len() {
+        let coder = store.try_chunk_coder(i).map_err(|e| e.to_string())?;
+        *counts.entry(coder.name()).or_insert(0usize) += 1;
+        fixed_bits += store
+            .chunk_info(i)
+            .map_err(|e| e.to_string())?
+            .fixed_width_bits();
+    }
+    let coders: Vec<String> = counts
+        .iter()
+        .map(|(n, c)| format!("\"{n}\": {c}"))
+        .collect();
+    out.push_str(&format!("  \"coders\": {{{}}},\n", coders.join(", ")));
+    out.push_str(&format!(
+        "  \"fixed_width_bytes\": {},\n",
+        fixed_bits.div_ceil(8)
+    ));
+    out.push_str("  \"zones\": [");
+    for (i, e) in store.entries().iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        out.push_str(&format!(
+            "{sep}\n    {{\"label\": {}, \"min\": {}, \"max\": {}, \"mean\": {}, \
+             \"l2\": {}, \"linf\": {}}}",
+            e.label,
+            json_num(e.zone.stats.min_bound),
+            json_num(e.zone.stats.max_bound),
+            json_num(e.zone.mean()),
+            json_num(e.zone.stats.l2_norm()),
+            json_num(e.zone.bounds.linf),
+        ));
+    }
+    out.push_str("\n  ]\n}");
+    println!("{out}");
     Ok(())
 }
 
@@ -594,6 +733,65 @@ mod tests {
         assert!(pruned.chunks_pruned >= 1);
         assert_eq!(pruned.value.to_bits(), full.value.to_bits());
         assert_eq!(pruned.matched_labels, full.matched_labels);
+    }
+
+    #[test]
+    fn store_stat_json_and_telemetry_commands() {
+        let raw = tmp("tele.f64");
+        let blzs = tmp("tele.blzs");
+        let a = NdArray::from_fn(vec![32, 8], |i| i[0] as f64);
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "32x8",
+            "--chunk-rows",
+            "8",
+            "--block",
+            "8x8",
+            "-o",
+            blzs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&sv(&["store", "stat", blzs.to_str().unwrap(), "--json"])).unwrap();
+        run(&sv(&[
+            "telemetry",
+            blzs.to_str().unwrap(),
+            "--min",
+            "10",
+            "--max",
+            "20",
+        ]))
+        .unwrap();
+        run(&sv(&[
+            "telemetry",
+            blzs.to_str().unwrap(),
+            "--format",
+            "prom",
+            "--mode",
+            "counters",
+        ]))
+        .unwrap();
+        assert!(run(&sv(&[
+            "telemetry",
+            blzs.to_str().unwrap(),
+            "--format",
+            "yaml"
+        ]))
+        .is_err());
+        assert!(run(&sv(&[
+            "telemetry",
+            blzs.to_str().unwrap(),
+            "--mode",
+            "loud"
+        ]))
+        .is_err());
+        // The query behind the dump actually recorded store metrics.
+        let snap = tel::registry().snapshot();
+        assert!(snap.counter("store.queries").unwrap_or(0) >= 2);
+        tel::set_mode(tel::Mode::Off);
     }
 
     #[test]

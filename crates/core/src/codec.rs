@@ -3,6 +3,7 @@
 use crate::report::CompressionReport;
 use crate::{BinIndex, BlazError, CompressedArray, Settings};
 use blazr_precision::Real;
+use blazr_telemetry as tel;
 use blazr_tensor::blocking::{gather_block, Blocked};
 use blazr_tensor::shape::{ceil_div, num_elements};
 use blazr_tensor::NdArray;
@@ -56,7 +57,9 @@ fn compress_impl<P: Real, I: BinIndex>(
     want_report: bool,
 ) -> Result<(CompressedArray<P, I>, Option<CompressionReport>), BlazError> {
     // Step (a): data type conversion to the working precision.
+    let mut sw = tel::Stopwatch::start();
     let converted: NdArray<P> = input.convert();
+    sw.lap(tel::histogram!("codec.compress.convert"));
     if !want_report {
         let compressed = compress_fused(&converted, input.shape().to_vec(), settings)?;
         return Ok((compressed, None));
@@ -84,6 +87,7 @@ fn compress_fused<P: Real, I: BinIndex>(
     settings: &Settings,
 ) -> Result<CompressedArray<P, I>, BlazError> {
     settings.validate_for_ndim(converted.ndim())?;
+    let _span = tel::span!("codec.compress");
 
     let bt = BlockTransform::<P>::new(settings.transform, &settings.block_shape);
     let block_len = bt.block_len().max(1);
@@ -91,6 +95,7 @@ fn compress_fused<P: Real, I: BinIndex>(
     let k = kept.len();
     let num_blocks = ceil_div(&shape, &settings.block_shape);
     let n_blocks = num_elements(&num_blocks);
+    tel::count!("codec.compress.blocks", n_blocks as u64);
     let mut biggest = vec![P::zero(); n_blocks];
     let mut indices = vec![I::from_i64(0); n_blocks * k];
 
@@ -108,11 +113,15 @@ fn compress_fused<P: Real, I: BinIndex>(
         .for_each_init(
             || (vec![P::zero(); block_len], vec![P::zero(); block_len]),
             |(block, scratch), (kb, (n_out, idx_out))| {
+                let mut sw = tel::Stopwatch::start();
                 gather_block(src, s, &num_blocks, bs, kb, block);
+                sw.lap(tel::histogram!("codec.compress.gather"));
                 bt.forward(block, scratch);
+                sw.lap(tel::histogram!("codec.compress.transform"));
                 // `scratch` is free again after the transform; reuse it
                 // for the binning ratios.
                 *n_out = bin_block::<P, I>(block, kept, idx_out, scratch);
+                sw.lap(tel::histogram!("codec.compress.bin"));
             },
         );
 

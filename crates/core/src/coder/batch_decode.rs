@@ -108,6 +108,13 @@ pub(crate) fn with_dec_table<I: BinIndex, R>(
 ) -> R {
     DEC_TABLES.with(|cell| {
         let mut pool = cell.borrow_mut();
+        if blazr_telemetry::counters_enabled() {
+            if pool.contains_key(&TypeId::of::<I>()) {
+                blazr_telemetry::counter!("coder.dec_pool.hits").add(1);
+            } else {
+                blazr_telemetry::counter!("coder.dec_pool.misses").add(1);
+            }
+        }
         let slot = pool
             .entry(TypeId::of::<I>())
             .or_insert_with(|| Box::new(DecTable::<I> { slots: Vec::new() }));

@@ -2,6 +2,7 @@
 
 use crate::{BinIndex, BlazError, Settings};
 use blazr_precision::Real;
+use blazr_telemetry as tel;
 use blazr_tensor::blocking::{scatter_block, Blocked};
 use blazr_tensor::shape::{ceil_div, ceil_div_count, num_elements};
 use blazr_tensor::NdArray;
@@ -138,6 +139,8 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
     /// instead; both paths produce the same bits
     /// (`tests/fused_pipeline.rs`), so the choice never shows in results.
     pub fn decompress_values(&self) -> NdArray<P> {
+        let _span = tel::span!("codec.decompress");
+        tel::count!("codec.decompress.blocks", self.block_count() as u64);
         let bt = BlockTransform::<P>::new(self.settings.transform, &self.settings.block_shape);
         let block_len = bt.block_len().max(1);
         let kept = self.settings.mask.kept_positions();
@@ -182,9 +185,13 @@ impl<P: Real, I: BinIndex> CompressedArray<P, I> {
                 |(block, scratch), (j0, slab)| {
                     let slab_start = j0 * slab_len;
                     for kb in j0 * blocks_per_slab..(j0 + 1) * blocks_per_slab {
+                        let mut sw = tel::Stopwatch::start();
                         self.unbin_block(kb, kept, block);
+                        sw.lap(tel::histogram!("codec.decompress.unbin"));
                         bt.inverse(block, scratch);
+                        sw.lap(tel::histogram!("codec.decompress.inverse"));
                         scatter_block(block, shape, &nb, bs, kb, slab, slab_start);
+                        sw.lap(tel::histogram!("codec.decompress.scatter"));
                     }
                 },
             );

@@ -48,6 +48,7 @@ use crate::coder::histogram::{Histogram, SymbolTable, MAX_TABLE_SYMS, SCALE_BITS
 use crate::coder::{ans, batch_decode, Coder};
 use crate::{BinIndex, BlazError, CompressedArray, PruningMask, Settings};
 use blazr_precision::StorableReal;
+use blazr_telemetry as tel;
 use blazr_tensor::shape::ceil_div_count;
 use blazr_transform::TransformKind;
 use blazr_util::bits::{BitReader, BitWriter};
@@ -318,6 +319,7 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
     /// Serializes to bytes (v2 layout) with an explicitly chosen index
     /// coder — the ablation/benchmark entry point.
     pub fn to_bytes_with(&self, coder: Coder) -> Vec<u8> {
+        let _span = tel::span!("codec.serialize");
         let mut w = BitWriter::new();
         w.write_bits(P::TYPE.tag() as u64, 2);
         w.write_bits(I::TYPE.tag() as u64, 2);
@@ -366,6 +368,7 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         }
         let hist = Histogram::of(&self.indices);
         let table = SymbolTable::optimize(&hist);
+        tel::count!("coder.table_builds", 1);
         let n_pieces = self.biggest.len().div_ceil(BLOCKS_PER_PIECE) as u64;
         let est = table.estimated_bits(&hist, I::BITS, n_pieces);
         let fixed = I::BITS as u64 * self.indices.len() as u64;
@@ -433,8 +436,12 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
     /// spliced in piece order).
     fn write_indices_rans(&self, w: &mut BitWriter) {
         let k = self.kept_per_block();
+        let mut sw = tel::Stopwatch::start();
         let hist = Histogram::of(&self.indices);
+        sw.lap(tel::histogram!("codec.entropy.histogram"));
         let table = SymbolTable::optimize(&hist);
+        tel::count!("coder.table_builds", 1);
+        sw.lap(tel::histogram!("codec.entropy.table"));
         w.write_bits(table.vals.len() as u64, 16);
         w.write_bits(table.esc_freq as u64, 13);
         let imask = index_mask(I::BITS);
@@ -459,6 +466,12 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
                 (pw.into_bytes(), bit_len, words.len(), escapes.len())
             })
             .collect();
+        sw.lap(tel::histogram!("codec.entropy.encode"));
+        if tel::counters_enabled() {
+            tel::counter!("coder.symbols").add(self.indices.len() as u64);
+            let n_escapes: u64 = pieces.iter().map(|&(_, _, _, e)| e as u64).sum();
+            tel::counter!("coder.escapes").add(n_escapes);
+        }
         for &(_, _, n_words, n_escapes) in &pieces {
             w.write_bits(n_words as u64, 32);
             w.write_bits(n_escapes as u64, 32);
@@ -552,6 +565,7 @@ impl<P: StorableReal, I: BinIndex> CompressedArray<P, I> {
         version: StreamVersion,
         slot: &mut Option<Self>,
     ) -> Result<(), BlazError> {
+        let _span = tel::span!("codec.deserialize");
         let matched = slot
             .as_ref()
             .and_then(|prev| prev.header_matches(bytes, version));
@@ -713,6 +727,8 @@ fn decode_indices_rans_into<I: BinIndex>(
         table
             .rebuild(esc_freq)
             .map_err(|e| bad(&format!("invalid rANS table: {e}")))?;
+        tel::count!("coder.rans_decodes", 1);
+        tel::count!("coder.table_rebuilds", 1);
         // Piece headers. Guard the count against the remaining bits before
         // growing anything proportional to it — a lying shape cannot
         // force a huge allocation.
@@ -742,6 +758,11 @@ fn decode_indices_rans_into<I: BinIndex>(
         }
         if total_bits > r.remaining() as u128 {
             return Err(bad("stream shorter than its piece bodies claim"));
+        }
+        if tel::counters_enabled() {
+            tel::counter!("coder.symbols_decoded").add((n_blocks * k) as u64);
+            let esc: u64 = headers.iter().map(|&(_, e, _)| e as u64).sum();
+            tel::counter!("coder.escapes_decoded").add(esc);
         }
         offsets.clear();
         let mut pos = r.bit_pos();

@@ -24,6 +24,7 @@ use crate::store::Store;
 use crate::zonemap::ZoneMap;
 use blazr::dynamic::DynCompressed;
 use blazr::ops::{ChunkStats, ErrorBounds};
+use blazr_telemetry as tel;
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -168,6 +169,21 @@ pub struct QueryResult {
     pub chunks_pruned: usize,
     /// Chunks decoded and exactly evaluated.
     pub chunks_scanned: usize,
+    /// Payload bytes the scan stage read (survivor chunks' serialized
+    /// sizes; pruned chunks contribute nothing).
+    pub payload_bytes_read: u64,
+}
+
+impl QueryResult {
+    /// Fraction of the in-range chunks that zone-map pruning skipped
+    /// (`0.0` when the range was empty).
+    pub fn prune_ratio(&self) -> f64 {
+        if self.chunks_in_range == 0 {
+            0.0
+        } else {
+            self.chunks_pruned as f64 / self.chunks_in_range as f64
+        }
+    }
 }
 
 /// Bound on `|Var(x̂) − Var(x)|` from the merged bounds and statistics:
@@ -199,6 +215,12 @@ impl Store {
     }
 
     fn execute(&self, q: &Query, prune: bool) -> Result<QueryResult, StoreError> {
+        let _span = tel::span!("store.query");
+        let allocs_before = if tel::counters_enabled() {
+            tel::alloc_probe()
+        } else {
+            None
+        };
         if q.from_label > q.to_label {
             return Err(StoreError::InvalidArgument(format!(
                 "empty label range: from {} > to {}",
@@ -218,6 +240,7 @@ impl Store {
             _ => true,
         }));
         let chunks_pruned = chunks_in_range - survivors.len();
+        let payload_bytes_read: u64 = survivors.iter().map(|&i| self.entries()[i].len).sum();
 
         // Stage 3: decode + exact predicate + partials, in parallel; each
         // element is independent, and the fold below runs in chunk order.
@@ -268,6 +291,19 @@ impl Store {
             Aggregate::Variance => (stats.variance(), variance_bound(&stats, &bounds)),
             Aggregate::L2Norm => (stats.l2_norm(), bounds.l2),
         };
+        if tel::counters_enabled() {
+            tel::counter!("store.queries").add(1);
+            tel::counter!("store.chunks_pruned").add(chunks_pruned as u64);
+            tel::counter!("store.chunks_scanned").add(survivors.len() as u64);
+            tel::counter!("store.chunks_matched").add(matched_labels.len() as u64);
+            tel::counter!("store.query.payload_bytes").add(payload_bytes_read);
+            // Allocation audit: with a probe registered (the bench's
+            // counting allocator), record how many allocations this query
+            // performed end to end.
+            if let (Some(before), Some(after)) = (allocs_before, tel::alloc_probe()) {
+                tel::record!("store.query.allocs", after.saturating_sub(before));
+            }
+        }
         Ok(QueryResult {
             value,
             error_bound,
@@ -277,6 +313,7 @@ impl Store {
             chunks_in_range,
             chunks_pruned,
             chunks_scanned: survivors.len(),
+            payload_bytes_read,
         })
     }
 }

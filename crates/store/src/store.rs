@@ -35,6 +35,7 @@ use blazr::serialize::{StreamInfo, StreamVersion};
 use blazr::series::CompressedSeries;
 use blazr::{BinIndex, Coder, CompressedArray, IndexType, ScalarType};
 use blazr_precision::StorableReal;
+use blazr_telemetry as tel;
 use blazr_util::mmap::Mmap;
 use rayon::prelude::*;
 use std::cell::Cell;
@@ -148,6 +149,7 @@ impl Store {
     /// the mapping) the store falls back to positional reads, exactly as
     /// [`Store::open_unmapped`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let _span = tel::span!("store.open");
         let path = path.as_ref();
         let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
         match Mmap::map(&file) {
@@ -164,6 +166,7 @@ impl Store {
     /// This is [`Store::open`]'s fallback path, exposed for callers that
     /// must not map the file (and for testing both paths).
     pub fn open_unmapped(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let _span = tel::span!("store.open");
         let path = path.as_ref();
         let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
         let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
@@ -173,6 +176,7 @@ impl Store {
     /// Opens a store from its raw bytes (validates header, trailer,
     /// checksum, and index geometry — never panics on corrupt input).
     pub fn from_bytes(data: Vec<u8>) -> Result<Self, StoreError> {
+        let _span = tel::span!("store.open");
         Self::load(Backing::Mem(data))
     }
 
@@ -214,6 +218,13 @@ impl Store {
         }
         let entries = decode_footer(&footer, footer_start, version)?;
         let checks = entries.iter().map(|_| OnceLock::new()).collect();
+        if tel::counters_enabled() {
+            match &backing {
+                Backing::Mem(_) => tel::counter!("store.open.memory").add(1),
+                Backing::Map(_) => tel::counter!("store.open.mmap").add(1),
+                Backing::File(..) => tel::counter!("store.open.file").add(1),
+            }
+        }
         Ok(Self {
             backing,
             entries,
@@ -330,10 +341,16 @@ impl Store {
     /// under the atomic-rename ingest contract).
     fn verify_payload(&self, i: usize, bytes: &[u8]) -> Result<(), StoreError> {
         let e = &self.entries[i];
-        let ok = *self.checks[i].get_or_init(|| fnv1a64(bytes) == e.payload_sum);
+        let ok = *self.checks[i].get_or_init(|| {
+            // Counts hashes actually computed, not latched re-checks —
+            // the metric that shows the lazy latch working.
+            tel::count!("store.checksum.verified", 1);
+            fnv1a64(bytes) == e.payload_sum
+        });
         if ok {
             Ok(())
         } else {
+            tel::count!("store.checksum.failed", 1);
             Err(StoreError::Corrupt(format!(
                 "chunk {i} (label {}): payload checksum mismatch (stored {:#018x})",
                 e.label, e.payload_sum
@@ -358,6 +375,8 @@ impl Store {
                 e.len
             ))
         })?;
+        tel::count!("store.chunk_reads", 1);
+        tel::count!("store.bytes_read", len as u64);
         if let Some(all) = self.backing.as_slice() {
             let bytes = slice_range(all, e.offset, len)?;
             self.verify_payload(i, bytes)?;

@@ -1,0 +1,376 @@
+//! Metric primitives: sharded counters, gauges, and log-linear
+//! histograms. Updates are lock-free; aggregation happens at snapshot.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+
+/// Number of atomic shards per counter. Threads hash onto shards by a
+/// process-unique thread index, so concurrent increments from different
+/// threads usually land on different cache lines.
+const N_SHARDS: usize = 8;
+
+/// One shard, padded to its own cache line so neighboring shards never
+/// false-share.
+#[derive(Debug, Default)]
+#[repr(align(64))]
+struct Shard(AtomicU64);
+
+/// This thread's shard index: assigned round-robin on first use, fixed
+/// for the thread's lifetime.
+#[inline]
+fn shard_index() -> usize {
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|c| {
+        let v = c.get();
+        if v != usize::MAX {
+            v
+        } else {
+            let v = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % N_SHARDS;
+            c.set(v);
+            v
+        }
+    })
+}
+
+/// A sharded monotonic sum: `add` touches one thread-affine shard,
+/// `value` sums all shards. Exact — shard sums commute in `u64`.
+#[derive(Debug, Default)]
+struct Adder {
+    shards: [Shard; N_SHARDS],
+}
+
+impl Adder {
+    #[inline]
+    fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+
+    fn reset(&self) {
+        for s in &self.shards {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A monotonic counter. Increment-only; exact at any thread count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    total: Adder,
+}
+
+impl Counter {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n`. Call through the [`count!`](crate::count) macro (which
+    /// gates on the mode) or gate manually with
+    /// [`counters_enabled`](crate::counters_enabled).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.total.add(n);
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.total.value()
+    }
+
+    /// Zeroes the counter.
+    pub fn reset(&self) {
+        self.total.reset();
+    }
+}
+
+/// A point-in-time signed value (`set`/`add`). Last write wins on `set`;
+/// a single atomic, not sharded, because gauges are written rarely.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the value by `delta`.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the gauge.
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Log-linear histogram.
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` linear sub-buckets, bounding the relative quantization
+/// error of any recorded value by `2^-SUB_BITS` (= 1/16, ~6%).
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+
+/// Bucket count covering the whole `u64` range: values below `SUB` map
+/// exactly, every octave above contributes `SUB` buckets.
+pub(crate) const N_BUCKETS: usize = ((64 - SUB_BITS as usize) + 1) * SUB as usize;
+
+/// The bucket index of `v` (log-linear, HDR-style).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = (v >> shift) - SUB;
+    ((shift as u64 + 1) * SUB + sub) as usize
+}
+
+/// The inclusive lower bound of bucket `i` (inverse of [`bucket_index`]).
+fn bucket_low(i: usize) -> u64 {
+    let i = i as u64;
+    if i < SUB {
+        return i;
+    }
+    let shift = i / SUB - 1;
+    (SUB + i % SUB) << shift
+}
+
+/// A representative value for bucket `i`: the midpoint of its range.
+fn bucket_mid(i: usize) -> u64 {
+    let lo = bucket_low(i);
+    let hi = if i + 1 < N_BUCKETS {
+        bucket_low(i + 1).saturating_sub(1)
+    } else {
+        u64::MAX
+    };
+    lo + (hi - lo) / 2
+}
+
+/// A log-linear-bucket histogram of `u64` values (span histograms record
+/// nanoseconds). `count` and `sum` are exact; quantiles carry the ≤ ~6%
+/// bucket quantization error.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: Adder,
+    sum: Adder,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: Adder::default(),
+            sum: Adder::default(),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one observation. Bucket updates from different values
+    /// naturally spread across the bucket array; `count`/`sum` are
+    /// sharded. Gate at the call site (the [`record!`](crate::record)
+    /// and [`span!`](crate::span) macros do).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.add(1);
+        self.sum.add(v);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-time observation in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of observations (exact).
+    pub fn count(&self) -> u64 {
+        self.count.value()
+    }
+
+    /// Sum of observations (exact).
+    pub fn sum(&self) -> u64 {
+        self.sum.value()
+    }
+
+    /// Smallest observation, `None` when empty.
+    pub fn min(&self) -> Option<u64> {
+        match self.min.load(Ordering::Relaxed) {
+            u64::MAX if self.count() == 0 => None,
+            v => Some(v),
+        }
+    }
+
+    /// Largest observation, `None` when empty.
+    pub fn max(&self) -> Option<u64> {
+        if self.count() == 0 {
+            None
+        } else {
+            Some(self.max.load(Ordering::Relaxed))
+        }
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as a bucket-midpoint estimate,
+    /// `None` when empty. `quantile(0.5)` is the median, `quantile(0.99)`
+    /// the p99.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                return Some(bucket_mid(i));
+            }
+        }
+        // Snapshot race (a record between the count read and the bucket
+        // walk): fall back to the largest non-empty bucket.
+        Some(self.max.load(Ordering::Relaxed))
+    }
+
+    /// Zeroes the histogram.
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.reset();
+        self.sum.reset();
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_roundtrips_through_low() {
+        for v in (0..2000u64).chain([
+            4095,
+            4096,
+            4097,
+            1 << 20,
+            (1 << 20) + 13,
+            u64::MAX / 2,
+            u64::MAX,
+        ]) {
+            let i = bucket_index(v);
+            assert!(i < N_BUCKETS, "v={v} i={i}");
+            let lo = bucket_low(i);
+            assert!(lo <= v, "v={v} low={lo}");
+            if i + 1 < N_BUCKETS {
+                assert!(
+                    bucket_low(i + 1) > v,
+                    "v={v} next_low={}",
+                    bucket_low(i + 1)
+                );
+            }
+        }
+        // Small values are exact.
+        for v in 0..SUB {
+            assert_eq!(bucket_low(bucket_index(v)), v);
+        }
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for v in [100u64, 999, 12345, 1_000_000, 123_456_789] {
+            let mid = bucket_mid(bucket_index(v)) as f64;
+            let rel = (mid - v as f64).abs() / v as f64;
+            assert!(rel <= 1.0 / SUB as f64, "v={v} mid={mid} rel={rel}");
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_and_exact_moments() {
+        let h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(1000));
+        let p50 = h.quantile(0.5).unwrap() as f64;
+        let p99 = h.quantile(0.99).unwrap() as f64;
+        assert!((p50 - 500.0).abs() / 500.0 < 0.08, "p50 {p50}");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.08, "p99 {p99}");
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn counter_is_exact_under_contention() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 80_000);
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-8);
+        assert_eq!(g.value(), -3);
+        g.reset();
+        assert_eq!(g.value(), 0);
+    }
+}

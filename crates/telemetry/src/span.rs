@@ -1,0 +1,165 @@
+//! Tracing spans: RAII wall-time guards with a thread-local nesting
+//! stack, plus the [`Stopwatch`] helper for intra-span stage laps.
+
+use crate::Histogram;
+use std::cell::RefCell;
+use std::time::Instant;
+
+std::thread_local! {
+    /// Names of the spans currently open on this thread, outermost
+    /// first. Only maintained while spans are enabled.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost open span's name on this thread, if any.
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// How many spans are open on this thread.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// An RAII span guard produced by [`span!`](crate::span): records the
+/// elapsed wall time (nanoseconds) into its histogram when dropped.
+/// Spans nest naturally — guards drop in LIFO order, and the
+/// thread-local stack ([`current_span`], [`span_depth`]) tracks the
+/// nesting while spans are enabled.
+#[derive(Debug)]
+#[must_use = "a span measures until dropped — bind it with `let _span = span!(..)`"]
+pub struct Span {
+    /// `None` when spans were disabled at entry: the drop is free and no
+    /// clock was read.
+    active: Option<(Instant, &'static Histogram)>,
+}
+
+impl Span {
+    /// An enabled span: pushes onto the thread's span stack and starts
+    /// the clock. Called by the [`span!`](crate::span) macro when spans
+    /// are enabled.
+    #[inline]
+    pub fn enter(name: &'static str, hist: &'static Histogram) -> Self {
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Self {
+            active: Some((Instant::now(), hist)),
+        }
+    }
+
+    /// A no-op span (spans disabled): dropping it does nothing.
+    #[inline]
+    pub fn disabled() -> Self {
+        Self { active: None }
+    }
+}
+
+impl Drop for Span {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some((start, hist)) = self.active.take() {
+            hist.record_duration(start.elapsed());
+            SPAN_STACK.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+/// A lap timer for stage breakdowns inside a hot loop: reads the clock
+/// only when spans are enabled, and each [`Stopwatch::lap`] records the
+/// time since the previous lap (or start) into the given histogram.
+///
+/// ```
+/// # blazr_telemetry::set_mode(blazr_telemetry::Mode::Spans);
+/// let mut sw = blazr_telemetry::Stopwatch::start();
+/// // ... stage one ...
+/// sw.lap(blazr_telemetry::histogram!("doc.stage_one"));
+/// // ... stage two ...
+/// sw.lap(blazr_telemetry::histogram!("doc.stage_two"));
+/// # blazr_telemetry::set_mode(blazr_telemetry::Mode::Off);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    last: Option<Instant>,
+}
+
+impl Stopwatch {
+    /// Starts the watch; a no-op (no clock read) when spans are off.
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            last: crate::spans_enabled().then(Instant::now),
+        }
+    }
+
+    /// Records the time since the previous lap into `hist` and restarts
+    /// the lap. Free when the watch was started with spans off.
+    #[inline]
+    pub fn lap(&mut self, hist: &'static Histogram) {
+        if let Some(last) = self.last {
+            let now = Instant::now();
+            hist.record_duration(now - last);
+            self.last = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{registry, set_mode, Mode};
+
+    #[test]
+    fn span_records_and_nests() {
+        // Serialize against other tests that flip the global mode.
+        let _guard = crate::export::tests::TEST_MUTEX
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Spans);
+        let h = registry().histogram("test.span.outer");
+        h.reset();
+        registry().histogram("test.span.inner").reset();
+        {
+            let _outer = crate::span!("test.span.outer");
+            assert_eq!(crate::current_span(), Some("test.span.outer"));
+            assert_eq!(crate::span_depth(), 1);
+            {
+                let _inner = crate::span!("test.span.inner");
+                assert_eq!(crate::current_span(), Some("test.span.inner"));
+                assert_eq!(crate::span_depth(), 2);
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert_eq!(crate::span_depth(), 1);
+        }
+        assert_eq!(crate::span_depth(), 0);
+        assert_eq!(h.count(), 1);
+        let inner = registry().histogram("test.span.inner");
+        // The inner span slept ≥ 2 ms; the outer contains it.
+        assert!(inner.min().unwrap() >= 1_000_000, "{:?}", inner.min());
+        assert!(h.min().unwrap() >= inner.min().unwrap() / 2);
+        set_mode(Mode::Off);
+    }
+
+    #[test]
+    fn disabled_spans_cost_nothing_and_record_nothing() {
+        let _guard = crate::export::tests::TEST_MUTEX
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set_mode(Mode::Off);
+        let h = registry().histogram("test.span.disabled");
+        h.reset();
+        {
+            let _s = crate::span!("test.span.disabled");
+            assert_eq!(crate::span_depth(), 0);
+        }
+        assert_eq!(h.count(), 0);
+
+        // Counters mode still keeps spans free (no clock).
+        set_mode(Mode::Counters);
+        {
+            let _s = crate::span!("test.span.disabled");
+            assert_eq!(crate::span_depth(), 0);
+        }
+        assert_eq!(h.count(), 0);
+        set_mode(Mode::Off);
+    }
+}

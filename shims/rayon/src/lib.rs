@@ -43,6 +43,14 @@
 //! tree-combining contract `tests/parallel_determinism.rs` locks in; keep
 //! it when extending the shim.
 //!
+//! # Telemetry
+//!
+//! The engine reports `rayon.parallel_calls`, `rayon.tasks` (pieces),
+//! and `rayon.steals` (pieces claimed by spawned workers) through
+//! [`blazr_telemetry`], plus a `rayon.piece_ns` histogram when spans are
+//! enabled. Observation only: piece shape and claim order are never
+//! affected, so the determinism contract holds with telemetry on or off.
+//!
 //! [rayon]: https://docs.rs/rayon
 #![forbid(unsafe_code)]
 
@@ -147,6 +155,8 @@ mod engine {
     {
         let len = producer.len();
         let n_pieces = piece_count(len, producer.min_piece_len());
+        blazr_telemetry::count!("rayon.parallel_calls", 1);
+        blazr_telemetry::count!("rayon.tasks", n_pieces as u64);
         if n_pieces <= 1 {
             return vec![f(producer)];
         }
@@ -186,11 +196,11 @@ mod engine {
                     .name("blazr-rayon-worker".into())
                     .spawn_scoped(scope, || {
                         let _guard = CellRestore::set(&IN_WORKER, true);
-                        drain(&slots, &results, &next, f);
+                        drain(&slots, &results, &next, f, true);
                     });
             }
             let _guard = CellRestore::set(&IN_WORKER, true);
-            drain(&slots, &results, &next, f);
+            drain(&slots, &results, &next, f, false);
         });
 
         results
@@ -203,12 +213,16 @@ mod engine {
             .collect()
     }
 
-    /// Claims and executes pieces until the queue is empty.
+    /// Claims and executes pieces until the queue is empty. `stolen`
+    /// marks spawned workers: pieces they claim came off the calling
+    /// thread's queue, which is what `rayon.steals` counts. Telemetry
+    /// never influences which piece a thread claims, only observes it.
     fn drain<P, R, F>(
         slots: &[Mutex<Option<P>>],
         results: &[Mutex<Option<R>>],
         next: &AtomicUsize,
         f: &F,
+        stolen: bool,
     ) where
         F: Fn(P) -> R,
     {
@@ -217,12 +231,19 @@ mod engine {
             if i >= slots.len() {
                 return;
             }
+            if stolen {
+                blazr_telemetry::count!("rayon.steals", 1);
+            }
             let piece = slots[i]
                 .lock()
                 .expect("piece slot lock")
                 .take()
                 .expect("each piece slot is claimed exactly once");
+            let started = blazr_telemetry::spans_enabled().then(std::time::Instant::now);
             let r = f(piece);
+            if let Some(t0) = started {
+                blazr_telemetry::histogram!("rayon.piece_ns").record_duration(t0.elapsed());
+            }
             *results[i].lock().expect("result slot lock") = Some(r);
         }
     }

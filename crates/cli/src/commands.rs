@@ -25,7 +25,10 @@ USAGE:
                    [--block 8x8] [--float f32] [--index i16]
   blazr store query  <store.blzs> [--from L] [--to L] [--min V] [--max V]
                    [--mean-min V] [--mean-max V] [--agg mean] [--full-scan]
+                   [--degraded]
   blazr store stat   <store.blzs> [--json]
+  blazr store verify <store.blzs> [--json]
+  blazr store repair <store.blzs> -o <out.blzs>
   blazr telemetry  <store.blzs> [query options as above] [--full-scan]
                    [--mode counters|spans] [--format json|prom]
   blazr help
@@ -37,28 +40,53 @@ splits the input along axis 0 into chunks of --chunk-rows rows (labeled by
 start row), `query` aggregates in compressed space with zone-map pruning,
 and `stat` prints the index without touching any chunk payload.
 
+`verify` deep-scans a store (footer, then every chunk checksum + decode)
+and prints per-chunk verdicts; a damaged footer is salvaged from chunk
+preambles first. `repair` rewrites a clean store from every salvageable
+chunk via the atomic ingest path. `query --degraded` tolerates damaged
+chunks: the aggregate covers the surviving chunks and a degradation
+report says what was skipped.
+
+Store commands exit 0 when the data is clean, 10 when an answer was
+produced without some chunks (degraded), and 20 when the file is corrupt
+beyond salvage; other errors exit 1.
+
 `telemetry` runs a store query with metric recording forced on and dumps
 the registry snapshot to stdout — JSON by default, Prometheus text with
 --format prom (the human-readable query result goes to stderr). The same
 metrics are available in any run through BLAZR_TELEMETRY=counters|spans.";
 
-pub fn run(argv: &[String]) -> Result<(), String> {
+/// How a store-health-aware command found the data, mapped to a distinct
+/// process exit code so scripts can branch: `Clean` → 0, `Degraded` → 10
+/// (an answer was produced, but without some chunks), `Corrupt` → 20
+/// (nothing usable). Commands that cannot observe damage return `Clean`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Everything read back intact.
+    Clean,
+    /// The command succeeded but had to skip damaged data.
+    Degraded,
+    /// The store is damaged beyond what salvage can recover.
+    Corrupt,
+}
+
+pub fn run(argv: &[String]) -> Result<Outcome, String> {
     let Some(cmd) = argv.first() else {
         return Err("no subcommand given".into());
     };
     let rest = &argv[1..];
     match cmd.as_str() {
-        "compress" => compress_cmd(rest),
-        "decompress" => decompress_cmd(rest),
-        "info" => info_cmd(rest),
-        "stats" => stats_cmd(rest),
-        "diff" => diff_cmd(rest),
-        "tune" => tune_cmd(rest),
+        "compress" => compress_cmd(rest).map(|()| Outcome::Clean),
+        "decompress" => decompress_cmd(rest).map(|()| Outcome::Clean),
+        "info" => info_cmd(rest).map(|()| Outcome::Clean),
+        "stats" => stats_cmd(rest).map(|()| Outcome::Clean),
+        "diff" => diff_cmd(rest).map(|()| Outcome::Clean),
+        "tune" => tune_cmd(rest).map(|()| Outcome::Clean),
         "store" => store_cmd(rest),
-        "telemetry" => telemetry_cmd(rest),
+        "telemetry" => telemetry_cmd(rest).map(|()| Outcome::Clean),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
         other => Err(format!("unknown subcommand {other:?}")),
     }
@@ -225,15 +253,17 @@ fn tune_cmd(argv: &[String]) -> Result<(), String> {
     }
 }
 
-fn store_cmd(argv: &[String]) -> Result<(), String> {
+fn store_cmd(argv: &[String]) -> Result<Outcome, String> {
     let Some(sub) = argv.first() else {
-        return Err("store needs a subcommand: ingest, query, or stat".into());
+        return Err("store needs a subcommand: ingest, query, stat, verify, or repair".into());
     };
     let rest = &argv[1..];
     match sub.as_str() {
-        "ingest" => store_ingest_cmd(rest),
+        "ingest" => store_ingest_cmd(rest).map(|()| Outcome::Clean),
         "query" => store_query_cmd(rest),
-        "stat" => store_stat_cmd(rest),
+        "stat" => store_stat_cmd(rest).map(|()| Outcome::Clean),
+        "verify" => store_verify_cmd(rest),
+        "repair" => store_repair_cmd(rest),
         other => Err(format!("unknown store subcommand {other:?}")),
     }
 }
@@ -344,21 +374,8 @@ fn parse_query(args: &Args) -> Result<blazr_store::Query, String> {
     })
 }
 
-fn store_query_cmd(argv: &[String]) -> Result<(), String> {
-    use blazr_store::Store;
-    let args = Args::parse(argv, &["full-scan"])?;
-    let input = args
-        .positionals
-        .first()
-        .ok_or("store query needs a store file")?;
-    let q = parse_query(&args)?;
-    let store = Store::open(input).map_err(|e| e.to_string())?;
-    let r = if args.has_flag("full-scan") {
-        store.query_full_scan(&q)
-    } else {
-        store.query(&q)
-    }
-    .map_err(|e| e.to_string())?;
+/// The shared human-readable block for a query result.
+fn print_query_result(q: &blazr_store::Query, r: &blazr_store::QueryResult) {
     println!("aggregate      : {:?}", q.aggregate);
     println!("value          : {:.9e}", r.value);
     println!("error bound    : {:.3e}", r.error_bound);
@@ -376,7 +393,280 @@ fn store_query_cmd(argv: &[String]) -> Result<(), String> {
         r.payload_bytes_read
     );
     println!("matched labels : {:?}", r.matched_labels);
-    Ok(())
+}
+
+/// Opens a store for a read command, salvaging on a damaged footer when
+/// `tolerate` is set. `Ok(None)` means "hopelessly corrupt": the reason
+/// was printed to stderr and the command should exit with
+/// [`Outcome::Corrupt`]. A salvaged-but-incomplete footer bumps the
+/// baseline outcome to `Degraded`.
+fn open_tolerant(
+    input: &str,
+    tolerate: bool,
+) -> Result<Option<(blazr_store::Store, Outcome)>, String> {
+    use blazr_store::{Store, StoreError};
+    match Store::open(input) {
+        Ok(s) => Ok(Some((s, Outcome::Clean))),
+        Err(StoreError::Corrupt(reason)) if tolerate => match Store::open_salvage(input) {
+            Ok((s, rep)) => {
+                eprintln!(
+                    "{input}: footer damaged ({reason}); salvaged {} chunks ({} damaged)",
+                    rep.recovered, rep.damaged
+                );
+                Ok(Some((s, Outcome::Degraded)))
+            }
+            Err(e) => {
+                eprintln!("{input}: corrupt beyond salvage: {e}");
+                Ok(None)
+            }
+        },
+        Err(e @ StoreError::Corrupt(_)) => {
+            eprintln!("{input}: {e} (try --degraded, `store verify`, or `store repair`)");
+            Ok(None)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn store_query_cmd(argv: &[String]) -> Result<Outcome, String> {
+    use blazr_store::StoreError;
+    let args = Args::parse(argv, &["full-scan", "degraded"])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store query needs a store file")?;
+    let q = parse_query(&args)?;
+    let degraded = args.has_flag("degraded");
+    let Some((store, mut outcome)) = open_tolerant(input, degraded)? else {
+        return Ok(Outcome::Corrupt);
+    };
+    if degraded {
+        let (r, report) = store.query_degraded(&q).map_err(|e| e.to_string())?;
+        print_query_result(&q, &r);
+        if report.is_degraded() {
+            outcome = Outcome::Degraded;
+            println!(
+                "degraded       : {} chunks skipped, {}/{} rows unavailable ({:.1}%)",
+                report.skipped.len(),
+                report.rows_unavailable,
+                report.rows_in_range,
+                report.fraction_unavailable() * 100.0
+            );
+            for s in &report.skipped {
+                println!("  chunk {:>5}  {} rows  {}", s.label, s.rows, s.reason);
+            }
+            println!("bounds partial : {}", report.bounds_partial);
+        }
+        return Ok(outcome);
+    }
+    let r = if args.has_flag("full-scan") {
+        store.query_full_scan(&q)
+    } else {
+        store.query(&q)
+    };
+    match r {
+        Ok(r) => {
+            print_query_result(&q, &r);
+            Ok(outcome)
+        }
+        // Damaged chunk hit mid-scan: report it as corruption (exit 20)
+        // rather than a generic failure, and point at degraded mode.
+        Err(e @ StoreError::Corrupt(_)) => {
+            eprintln!("{input}: {e} (rerun with --degraded to skip damaged chunks)");
+            Ok(Outcome::Corrupt)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// `blazr store verify`: deep-scan every chunk (checksum + full decode)
+/// and print per-chunk verdicts. A damaged footer is salvaged from chunk
+/// preambles first, so the verdict list covers whatever is recoverable.
+fn store_verify_cmd(argv: &[String]) -> Result<Outcome, String> {
+    use blazr_store::{Store, StoreError};
+    let args = Args::parse(argv, &["json"])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store verify needs a store file")?;
+    let json = args.has_flag("json");
+    let (store, salvage) = match Store::open(input) {
+        Ok(s) => (s, None),
+        Err(StoreError::Corrupt(reason)) => match Store::open_salvage(input) {
+            Ok((s, rep)) => (s, Some((reason, rep))),
+            Err(e) => {
+                if json {
+                    println!(
+                        "{{\n  \"file\": \"{}\",\n  \"outcome\": \"corrupt\",\n  \
+                         \"error\": \"{}\"\n}}",
+                        input.replace('"', "\\\""),
+                        e.to_string().replace('"', "\\\"")
+                    );
+                } else {
+                    eprintln!("{input}: corrupt beyond salvage: {e}");
+                }
+                return Ok(Outcome::Corrupt);
+            }
+        },
+        Err(e) => return Err(e.to_string()),
+    };
+    // Deep scan: every chunk is checksummed and fully decoded; the footer
+    // zone map only tells us what the writer *claimed*, so a verdict
+    // requires reading the payload back.
+    let mut verdicts: Vec<(u64, u64, Option<String>)> = Vec::with_capacity(store.len());
+    let mut bad = 0usize;
+    for i in 0..store.len() {
+        let e = &store.entries()[i];
+        match store.chunk(i) {
+            Ok(_) => verdicts.push((e.label, e.zone.stats.count, None)),
+            Err(err) => {
+                bad += 1;
+                verdicts.push((e.label, e.zone.stats.count, Some(err.to_string())));
+            }
+        }
+    }
+    let footer_intact = salvage.is_none();
+    let damaged_preambles = salvage.as_ref().map_or(0, |(_, rep)| rep.damaged);
+    let outcome = if bad == verdicts.len() && !verdicts.is_empty() {
+        Outcome::Corrupt
+    } else if !footer_intact || bad > 0 || damaged_preambles > 0 {
+        Outcome::Degraded
+    } else {
+        Outcome::Clean
+    };
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"file\": \"{}\",\n",
+            input.replace('"', "\\\"")
+        ));
+        out.push_str(&format!(
+            "  \"outcome\": \"{}\",\n",
+            match outcome {
+                Outcome::Clean => "clean",
+                Outcome::Degraded => "degraded",
+                Outcome::Corrupt => "corrupt",
+            }
+        ));
+        out.push_str(&format!("  \"footer_intact\": {footer_intact},\n"));
+        out.push_str(&format!("  \"damaged_regions\": {damaged_preambles},\n"));
+        out.push_str(&format!(
+            "  \"chunks_ok\": {},\n  \"chunks_bad\": {bad},\n",
+            verdicts.len() - bad
+        ));
+        out.push_str("  \"chunks\": [");
+        for (i, (label, rows, err)) in verdicts.iter().enumerate() {
+            let sep = if i == 0 { "" } else { "," };
+            match err {
+                None => out.push_str(&format!(
+                    "{sep}\n    {{\"label\": {label}, \"rows\": {rows}, \"ok\": true}}"
+                )),
+                Some(e) => out.push_str(&format!(
+                    "{sep}\n    {{\"label\": {label}, \"rows\": {rows}, \"ok\": false, \
+                     \"error\": \"{}\"}}",
+                    e.replace('"', "\\\"")
+                )),
+            }
+        }
+        out.push_str("\n  ]\n}");
+        println!("{out}");
+    } else {
+        println!("file           : {input}");
+        match &salvage {
+            None => println!("footer         : intact"),
+            Some((reason, rep)) => {
+                println!("footer         : DAMAGED ({reason})");
+                println!(
+                    "salvage        : {} chunks recovered, {} damaged regions skipped",
+                    rep.recovered, rep.damaged
+                );
+            }
+        }
+        for (label, rows, err) in &verdicts {
+            match err {
+                None => println!("chunk {label:>5}    : ok ({rows} rows)"),
+                Some(e) => println!("chunk {label:>5}    : BAD ({e})"),
+            }
+        }
+        println!(
+            "verdict        : {} ({}/{} chunks ok)",
+            match outcome {
+                Outcome::Clean => "clean",
+                Outcome::Degraded => "degraded",
+                Outcome::Corrupt => "corrupt",
+            },
+            verdicts.len() - bad,
+            verdicts.len()
+        );
+    }
+    Ok(outcome)
+}
+
+/// `blazr store repair`: rewrite a clean store from every salvageable
+/// chunk. Output goes through the same atomic temp-file + rename ingest
+/// path as `store ingest`, so a crash mid-repair never leaves garbage at
+/// the destination.
+fn store_repair_cmd(argv: &[String]) -> Result<Outcome, String> {
+    use blazr_store::{Store, StoreError, StoreWriter};
+    let args = Args::parse(argv, &[])?;
+    let input = args
+        .positionals
+        .first()
+        .ok_or("store repair needs a store file")?;
+    let out = args.require("output")?;
+    let (store, rep) = match Store::open_salvage(input) {
+        Ok(x) => x,
+        Err(e @ StoreError::Corrupt(_)) => {
+            eprintln!("{input}: corrupt beyond salvage: {e}");
+            return Ok(Outcome::Corrupt);
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+    // Decode every chunk, keeping the survivors; a chunk that passed the
+    // salvage checksum can still fail its own header validation, so the
+    // rewrite re-verifies by full decode.
+    let mut good: Vec<(u64, blazr::dynamic::DynCompressed)> = Vec::with_capacity(store.len());
+    let mut dropped = 0usize;
+    for i in 0..store.len() {
+        let label = store.entries()[i].label;
+        match store.chunk(i) {
+            Ok(c) => good.push((label, c)),
+            Err(e) => {
+                dropped += 1;
+                eprintln!("dropping chunk {label}: {e}");
+            }
+        }
+    }
+    let Some((_, first)) = good.first() else {
+        eprintln!("{input}: no chunks survived the deep scan; nothing to repair");
+        return Ok(Outcome::Corrupt);
+    };
+    let mut w = StoreWriter::create(
+        out,
+        first.settings().clone(),
+        first.float_type(),
+        first.index_type(),
+    )
+    .map_err(|e| e.to_string())?;
+    for (label, c) in &good {
+        w.append_dyn(*label, c).map_err(|e| e.to_string())?;
+    }
+    w.finish().map_err(|e| e.to_string())?;
+    let lost = dropped + usize::try_from(rep.damaged).unwrap_or(usize::MAX);
+    println!(
+        "{input} -> {out}: {} chunks rewritten, {lost} lost (footer was {})",
+        good.len(),
+        if rep.footer_intact {
+            "intact"
+        } else {
+            "damaged"
+        }
+    );
+    Ok(if rep.footer_intact && lost == 0 {
+        Outcome::Clean
+    } else {
+        Outcome::Degraded
+    })
 }
 
 /// `blazr telemetry`: run a store query with metric recording forced on
@@ -443,6 +733,9 @@ fn store_stat_cmd(argv: &[String]) -> Result<(), String> {
     println!("file           : {input}");
     println!("format         : {:?}", store.format_version());
     println!("backing        : {}", store.backing_kind());
+    if store.mmap_fell_back() {
+        println!("note           : mmap failed at open; using positional reads");
+    }
     println!("chunks         : {}", store.len());
     println!("file bytes     : {}", store.file_bytes());
     println!("payload bytes  : {}", store.payload_bytes());
@@ -508,6 +801,10 @@ fn store_stat_json(input: &str, store: &blazr_store::Store) -> Result<(), String
         store.format_version()
     ));
     out.push_str(&format!("  \"backing\": \"{}\",\n", store.backing_kind()));
+    out.push_str(&format!(
+        "  \"mmap_fell_back\": {},\n",
+        store.mmap_fell_back()
+    ));
     out.push_str(&format!("  \"chunks\": {},\n", store.len()));
     out.push_str(&format!("  \"file_bytes\": {},\n", store.file_bytes()));
     out.push_str(&format!(
@@ -849,6 +1146,106 @@ mod tests {
             "median",
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn store_verify_repair_and_degraded_query() {
+        let raw = tmp("fault.f64");
+        let blzs = tmp("fault.blzs");
+        let a = NdArray::from_fn(vec![32, 8], |i| i[0] as f64);
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "32x8",
+            "--chunk-rows",
+            "8",
+            "--block",
+            "8x8",
+            "-o",
+            blzs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let p = blzs.to_str().unwrap();
+
+        // Pristine store: everything reports clean.
+        assert_eq!(run(&sv(&["store", "verify", p])).unwrap(), Outcome::Clean);
+        assert_eq!(
+            run(&sv(&["store", "verify", p, "--json"])).unwrap(),
+            Outcome::Clean
+        );
+        assert_eq!(
+            run(&sv(&["store", "query", p, "--degraded"])).unwrap(),
+            Outcome::Clean
+        );
+
+        // Flip a byte inside chunk 1's payload (label 8).
+        let off = {
+            let store = blazr_store::Store::open(&blzs).unwrap();
+            store.entries()[1].offset as usize
+        };
+        let mut bytes = fs::read(&blzs).unwrap();
+        bytes[off + 4] ^= 0xFF;
+        fs::write(&blzs, &bytes).unwrap();
+
+        // Full-fidelity query refuses (exit 20); degraded answers from
+        // the surviving chunks (exit 10); verify flags the chunk.
+        assert_eq!(run(&sv(&["store", "query", p])).unwrap(), Outcome::Corrupt);
+        assert_eq!(
+            run(&sv(&["store", "query", p, "--degraded"])).unwrap(),
+            Outcome::Degraded
+        );
+        assert_eq!(
+            run(&sv(&["store", "verify", p])).unwrap(),
+            Outcome::Degraded
+        );
+
+        // Repair rewrites the survivors; the result verifies clean and
+        // holds exactly the undamaged labels.
+        let fixed = tmp("fault_fixed.blzs");
+        let fp = fixed.to_str().unwrap().to_string();
+        assert_eq!(
+            run(&sv(&["store", "repair", p, "-o", &fp])).unwrap(),
+            Outcome::Degraded
+        );
+        assert_eq!(run(&sv(&["store", "verify", &fp])).unwrap(), Outcome::Clean);
+        let repaired = blazr_store::Store::open(&fixed).unwrap();
+        assert_eq!(repaired.labels(), vec![0, 16, 24]);
+        drop(repaired);
+
+        // Smash the trailer too: open fails, salvage takes over, and the
+        // verdict is still degraded — never a hard error.
+        let n = bytes.len();
+        bytes[n - 16..].fill(0xAA);
+        fs::write(&blzs, &bytes).unwrap();
+        assert_eq!(
+            run(&sv(&["store", "verify", p])).unwrap(),
+            Outcome::Degraded
+        );
+        assert_eq!(
+            run(&sv(&["store", "query", p, "--degraded"])).unwrap(),
+            Outcome::Degraded
+        );
+        assert_eq!(run(&sv(&["store", "query", p])).unwrap(), Outcome::Corrupt);
+
+        // All-garbage file: corrupt verdict (exit 20), not a usage error.
+        let junk = tmp("junk.blzs");
+        fs::write(&junk, vec![0x5Au8; 256]).unwrap();
+        let jp = junk.to_str().unwrap();
+        assert_eq!(
+            run(&sv(&["store", "verify", jp])).unwrap(),
+            Outcome::Corrupt
+        );
+        assert_eq!(
+            run(&sv(&["store", "verify", jp, "--json"])).unwrap(),
+            Outcome::Corrupt
+        );
+        assert_eq!(
+            run(&sv(&["store", "repair", jp, "-o", &fp])).unwrap(),
+            Outcome::Corrupt
+        );
     }
 
     #[test]

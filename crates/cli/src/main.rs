@@ -18,12 +18,19 @@ mod args;
 mod commands;
 mod io;
 
+use commands::Outcome;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    // Store-health-aware commands report how they found the data through
+    // distinct exit codes so scripts can branch: 0 clean, 10 degraded
+    // (answered, but some chunks were skipped), 20 corrupt beyond
+    // salvage. Anything else (bad usage, I/O failures) exits 1.
     match commands::run(&argv) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::Degraded) => ExitCode::from(10),
+        Ok(Outcome::Corrupt) => ExitCode::from(20),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("run `blazr help` for usage");

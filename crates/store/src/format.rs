@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
-//! │ "BLZSTOR2"                               header magic, 8 B   │
+//! │ "BLZSTOR3"                               header magic, 8 B   │
 //! ├──────────────────────────────────────────────────────────────┤
+//! │ chunk 0 preamble (32 B):                                     │
+//! │   "BLZCHNK1" │ u64 label │ u64 len │ u64 fnv1a64(payload)    │
 //! │ chunk 0 payload          §IV-C stream (core::serialize)      │
 //! │ (zero padding to the next 8-byte boundary)                   │
-//! │ chunk 1 payload                                              │
+//! │ chunk 1 preamble │ chunk 1 payload                           │
 //! │ …                                                            │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ footer:                                                      │
@@ -44,19 +46,53 @@
 //! no coder tag, its chunk payloads use the v1 stream layout (no coder
 //! byte, fixed-width indices), and payloads are packed back-to-back. v2
 //! (`"BLZSTOR2"`) adds a per-chunk entropy coder tag to the footer,
-//! stores v2 streams, and 8-byte-aligns payloads. The header magic is the
-//! version switch: [`crate::Store::open`] reads both, new files are always
-//! written v2.
+//! stores v2 streams, and 8-byte-aligns payloads. v3 (`"BLZSTOR3"`)
+//! keeps the v2 footer and stream layouts but writes a 32-byte
+//! **chunk preamble** immediately before each payload, making every
+//! chunk self-describing on disk. The header magic is the version
+//! switch: [`crate::Store::open`] reads all three, new files are always
+//! written v3.
+//!
+//! **Salvage scan invariants.** The preamble is what makes a v3 store
+//! recoverable when its footer or trailer is damaged
+//! ([`crate::Store::open_salvage`]): [`scan_salvage`] walks the file and
+//! rebuilds an index from preambles alone. The scan relies on exactly
+//! these invariants, which the writer maintains:
+//!
+//! 1. **Alignment** — every preamble starts on a [`CHUNK_ALIGN`]-byte
+//!    boundary (the writer zero-pads after each payload), so the scan
+//!    only probes aligned offsets and resynchronizes after damage by
+//!    stepping [`CHUNK_ALIGN`] bytes at a time.
+//! 2. **Chunk magic** — a preamble begins with [`CHUNK_MAGIC`]
+//!    (`"BLZCHNK1"`), which the payload encoding cannot emit at an
+//!    aligned position by construction of the scan (a match inside a
+//!    payload is additionally rejected by the checksum test below).
+//! 3. **Self-describing headers** — the preamble carries the chunk
+//!    label, payload length, and payload FNV-1a64 checksum. A candidate
+//!    is accepted only if the length lands inside the file, the checksum
+//!    over those bytes matches, and the label extends the
+//!    strictly-increasing label sequence; everything else is skipped as
+//!    damage. Footer `offset`/`len` continue to describe only the
+//!    payload, so preambles live in the forward gaps that
+//!    [`decode_footer`] already tolerates, and v1/v2 readers of the
+//!    footer path need no changes.
 
 use crate::error::StoreError;
 use crate::zonemap::ZoneMap;
 use blazr::ops::{ChunkStats, ErrorBounds};
 use blazr::Coder;
 
-/// Leading file magic of the current (v2) format.
-pub const HEADER_MAGIC: &[u8; 8] = b"BLZSTOR2";
+/// Leading file magic of the current (v3) format.
+pub const HEADER_MAGIC: &[u8; 8] = b"BLZSTOR3";
+/// Leading file magic of the v2 format (still readable).
+pub const HEADER_MAGIC_V2: &[u8; 8] = b"BLZSTOR2";
 /// Leading file magic of the legacy v1 format (still readable).
 pub const HEADER_MAGIC_V1: &[u8; 8] = b"BLZSTOR1";
+/// Magic leading every v3 chunk preamble.
+pub const CHUNK_MAGIC: &[u8; 8] = b"BLZCHNK1";
+/// Bytes of a v3 chunk preamble: magic, label, payload len, payload
+/// checksum. A multiple of [`CHUNK_ALIGN`], so payloads stay aligned.
+pub const PREAMBLE_LEN: usize = 32;
 /// Trailing file magic (unchanged across versions).
 pub const TRAILER_MAGIC: &[u8; 8] = b"BLZSIDX1";
 /// Bytes of the fixed-size trailer: footer length, checksum, magic.
@@ -80,13 +116,16 @@ pub enum FormatVersion {
     V1,
     /// `"BLZSTOR2"`: 96-byte entries with a coder tag, v2 chunk streams.
     V2,
+    /// `"BLZSTOR3"`: v2 footer and streams plus per-chunk preambles.
+    V3,
 }
 
 impl FormatVersion {
     /// The version a header magic denotes, if it is one we read.
     pub fn from_magic(magic: &[u8]) -> Option<Self> {
         match magic {
-            m if m == HEADER_MAGIC => Some(FormatVersion::V2),
+            m if m == HEADER_MAGIC => Some(FormatVersion::V3),
+            m if m == HEADER_MAGIC_V2 => Some(FormatVersion::V2),
             m if m == HEADER_MAGIC_V1 => Some(FormatVersion::V1),
             _ => None,
         }
@@ -96,7 +135,7 @@ impl FormatVersion {
     pub fn entry_len(self) -> usize {
         match self {
             FormatVersion::V1 => ENTRY_LEN_V1,
-            FormatVersion::V2 => ENTRY_LEN,
+            FormatVersion::V2 | FormatVersion::V3 => ENTRY_LEN,
         }
     }
 }
@@ -191,6 +230,87 @@ pub fn encode_trailer(footer: &[u8]) -> Vec<u8> {
     out
 }
 
+/// Encodes a v3 chunk preamble for `payload` (checksum computed here).
+pub fn encode_preamble(label: u64, payload: &[u8]) -> [u8; PREAMBLE_LEN] {
+    let mut out = [0u8; PREAMBLE_LEN];
+    out[..8].copy_from_slice(CHUNK_MAGIC);
+    out[8..16].copy_from_slice(&label.to_le_bytes());
+    out[16..24].copy_from_slice(&(payload.len() as u64).to_le_bytes());
+    out[24..32].copy_from_slice(&fnv1a64(payload).to_le_bytes());
+    out
+}
+
+/// Decodes a v3 chunk preamble: `(label, payload_len, payload_sum)`.
+/// `None` when the bytes are too short or the magic is wrong — a
+/// checksum over the payload is the caller's job ([`scan_salvage`] does
+/// it against the file).
+pub fn decode_preamble(bytes: &[u8]) -> Option<(u64, u64, u64)> {
+    if bytes.len() < PREAMBLE_LEN || &bytes[..8] != CHUNK_MAGIC {
+        return None;
+    }
+    let u = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8 B"));
+    Some((u(8), u(16), u(24)))
+}
+
+/// One chunk recovered by [`scan_salvage`]: the slice of the scanned
+/// bytes holding a payload whose preamble and checksum both verified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageHit {
+    /// The chunk label from its preamble.
+    pub label: u64,
+    /// Absolute offset of the payload in the scanned bytes.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// FNV-1a64 of the payload, re-verified against the bytes.
+    pub payload_sum: u64,
+}
+
+/// Scans a (possibly damaged) v3 file for salvageable chunks, ignoring
+/// footer and trailer entirely. Returns the verified hits in file order
+/// plus the number of *damaged candidates* — aligned positions that
+/// carried [`CHUNK_MAGIC`] but failed validation (bad length, checksum
+/// mismatch, or out-of-order label). See the module docs for the
+/// invariants the scan relies on.
+pub fn scan_salvage(bytes: &[u8]) -> (Vec<SalvageHit>, u64) {
+    let mut hits = Vec::new();
+    let mut damaged = 0u64;
+    let mut last_label = None;
+    let align = CHUNK_ALIGN as usize;
+    let mut pos = HEADER_MAGIC.len();
+    while pos + PREAMBLE_LEN <= bytes.len() {
+        let Some((label, len, sum)) = decode_preamble(&bytes[pos..]) else {
+            pos += align;
+            continue;
+        };
+        let payload_at = pos + PREAMBLE_LEN;
+        let valid = usize::try_from(len)
+            .ok()
+            .and_then(|len| len.checked_add(payload_at))
+            .filter(|&end| end <= bytes.len())
+            .map(|end| fnv1a64(&bytes[payload_at..end]) == sum)
+            .unwrap_or(false)
+            && last_label.is_none_or(|last| label > last);
+        if !valid {
+            damaged += 1;
+            pos += align;
+            continue;
+        }
+        last_label = Some(label);
+        hits.push(SalvageHit {
+            label,
+            offset: payload_at as u64,
+            len,
+            payload_sum: sum,
+        });
+        // Jump past the payload and its zero padding to the next
+        // aligned position — the only place the next preamble can be.
+        let end = payload_at + len as usize;
+        pos = end + (align - end % align) % align;
+    }
+    (hits, damaged)
+}
+
 struct Cursor<'a> {
     bytes: &'a [u8],
     pos: usize,
@@ -243,7 +363,7 @@ pub fn decode_footer(
         let payload_sum = c.u64();
         let coder = match version {
             FormatVersion::V1 => Coder::FixedWidth,
-            FormatVersion::V2 => {
+            FormatVersion::V2 | FormatVersion::V3 => {
                 let tag = c.u64();
                 u8::try_from(tag)
                     .ok()
@@ -364,6 +484,10 @@ mod tests {
     fn format_version_from_magic() {
         assert_eq!(
             FormatVersion::from_magic(HEADER_MAGIC),
+            Some(FormatVersion::V3)
+        );
+        assert_eq!(
+            FormatVersion::from_magic(HEADER_MAGIC_V2),
             Some(FormatVersion::V2)
         );
         assert_eq!(
@@ -371,6 +495,88 @@ mod tests {
             Some(FormatVersion::V1)
         );
         assert_eq!(FormatVersion::from_magic(b"BLZSTOR9"), None);
+    }
+
+    #[test]
+    fn preamble_roundtrips() {
+        let payload = b"some chunk payload bytes";
+        let p = encode_preamble(42, payload);
+        assert_eq!(p.len(), PREAMBLE_LEN);
+        let (label, len, sum) = decode_preamble(&p).unwrap();
+        assert_eq!(label, 42);
+        assert_eq!(len, payload.len() as u64);
+        assert_eq!(sum, fnv1a64(payload));
+        let mut bad = p;
+        bad[0] ^= 1;
+        assert!(decode_preamble(&bad).is_none());
+        assert!(decode_preamble(&p[..PREAMBLE_LEN - 1]).is_none());
+    }
+
+    /// Header + preambled payloads (with alignment padding), no footer.
+    fn fabricate_v3_body(chunks: &[(u64, &[u8])]) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(HEADER_MAGIC);
+        for &(label, payload) in chunks {
+            out.extend_from_slice(&encode_preamble(label, payload));
+            out.extend_from_slice(payload);
+            while out.len() % CHUNK_ALIGN as usize != 0 {
+                out.push(0);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn salvage_scan_recovers_all_intact_chunks() {
+        let chunks: Vec<(u64, &[u8])> = vec![(0, b"first"), (3, b"second chunk"), (9, b"x")];
+        let mut bytes = fabricate_v3_body(&chunks);
+        // Garbage where the footer would be must not confuse the scan.
+        bytes.extend_from_slice(&[0xAA; 40]);
+        let (hits, damaged) = scan_salvage(&bytes);
+        assert_eq!(damaged, 0);
+        assert_eq!(hits.len(), 3);
+        for (hit, (label, payload)) in hits.iter().zip(&chunks) {
+            assert_eq!(hit.label, *label);
+            assert_eq!(hit.len, payload.len() as u64);
+            let at = hit.offset as usize;
+            assert_eq!(&bytes[at..at + payload.len()], *payload);
+        }
+    }
+
+    #[test]
+    fn salvage_scan_skips_damaged_chunks_and_resyncs() {
+        let chunks: Vec<(u64, &[u8])> =
+            vec![(0, b"first payload"), (1, b"second payload"), (2, b"third")];
+        let mut bytes = fabricate_v3_body(&chunks);
+        // Flip one byte inside the second payload: its checksum fails,
+        // but the scan must resynchronize and still find the third.
+        let (clean, _) = scan_salvage(&bytes);
+        bytes[clean[1].offset as usize + 3] ^= 0x40;
+        let (hits, damaged) = scan_salvage(&bytes);
+        assert_eq!(damaged, 1);
+        assert_eq!(hits.iter().map(|h| h.label).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn salvage_scan_rejects_out_of_order_labels() {
+        let bytes = fabricate_v3_body(&[(5, b"later"), (5, b"duplicate label")]);
+        let (hits, damaged) = scan_salvage(&bytes);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].label, 5);
+        assert_eq!(damaged, 1);
+    }
+
+    #[test]
+    fn salvage_scan_ignores_unaligned_magic() {
+        // CHUNK_MAGIC appearing *inside* a payload at an unaligned
+        // offset is never probed.
+        let mut payload = Vec::from(&b"abc"[..]);
+        payload.extend_from_slice(CHUNK_MAGIC);
+        payload.extend_from_slice(b"tail");
+        let bytes = fabricate_v3_body(&[(1, &payload)]);
+        let (hits, damaged) = scan_salvage(&bytes);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(damaged, 0);
     }
 
     #[test]

@@ -21,6 +21,14 @@
 //!   [`blazr::series::CompressedSeries`] to disk, so the paper's §VI
 //!   deviation and scission analyses ([`Store::largest_jump`],
 //!   [`Store::first_divergence`], …) run against on-disk data.
+//! * The store survives storage faults: transient read errors retry
+//!   with bounded backoff ([`RetryPolicy`]), a damaged footer salvages
+//!   from self-describing chunk preambles ([`Store::open_salvage`]),
+//!   and queries over a store with bad chunks can proceed in degraded
+//!   mode ([`Store::query_degraded`]) with a [`DegradationReport`]
+//!   instead of an error. All I/O goes through the
+//!   [`blazr_util::vfs`] seam, so every failure mode is testable with
+//!   deterministic fault injection.
 //!
 //! ```
 //! use blazr::{IndexType, ScalarType, Settings};
@@ -65,7 +73,7 @@ mod zonemap;
 
 pub use error::StoreError;
 pub use format::{FormatVersion, IndexEntry};
-pub use query::{Aggregate, Predicate, Query, QueryResult};
-pub use store::{write_series, Store};
+pub use query::{Aggregate, DegradationReport, Predicate, Query, QueryResult, SkippedChunk};
+pub use store::{write_series, RetryPolicy, SalvageReport, Store};
 pub use writer::StoreWriter;
 pub use zonemap::ZoneMap;

@@ -38,9 +38,20 @@ std::thread_local! {
     static SCAN_SCRATCH: RefCell<Option<DynCompressed>> = const { RefCell::new(None) };
 }
 
-/// One scanned chunk's contribution: its label and partials, `None` when
-/// the exact predicate rejected it.
-type ChunkScan = Option<(u64, ChunkStats, ErrorBounds)>;
+/// One scanned chunk's outcome.
+enum Scanned {
+    /// The chunk matched: label and partials for the chunk-order fold.
+    Match(u64, ChunkStats, ErrorBounds),
+    /// The exact predicate rejected the chunk.
+    NoMatch,
+    /// Degraded mode quarantined the chunk: it failed to read, verify,
+    /// or decode, and the query is proceeding without it.
+    Skipped {
+        label: u64,
+        rows: u64,
+        reason: String,
+    },
+}
 
 /// A chunk-level predicate on the data values.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -186,6 +197,50 @@ impl QueryResult {
     }
 }
 
+/// One chunk a degraded query proceeded without.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkippedChunk {
+    /// The chunk's label.
+    pub label: u64,
+    /// Rows (elements) the chunk held, from its zone map.
+    pub rows: u64,
+    /// Why the chunk was quarantined (checksum mismatch, read error, …).
+    pub reason: String,
+}
+
+/// How much of the data a degraded query ([`Store::query_degraded`]) had
+/// to do without. An empty report (nothing skipped) means the answer is
+/// identical to a healthy [`Store::query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationReport {
+    /// The quarantined chunks, in chunk order.
+    pub skipped: Vec<SkippedChunk>,
+    /// Rows in the quarantined chunks (per their zone maps).
+    pub rows_unavailable: u64,
+    /// Rows in every chunk of the query's label range.
+    pub rows_in_range: u64,
+    /// True when any chunk was skipped: the result's error bounds cover
+    /// only the surviving chunks, not the store's full contents.
+    pub bounds_partial: bool,
+}
+
+impl DegradationReport {
+    /// True when any chunk was quarantined.
+    pub fn is_degraded(&self) -> bool {
+        !self.skipped.is_empty()
+    }
+
+    /// Fraction of the in-range rows that were unavailable (`0.0` for an
+    /// empty range).
+    pub fn fraction_unavailable(&self) -> f64 {
+        if self.rows_in_range == 0 {
+            0.0
+        } else {
+            self.rows_unavailable as f64 / self.rows_in_range as f64
+        }
+    }
+}
+
 /// Bound on `|Var(x̂) − Var(x)|` from the merged bounds and statistics:
 /// `E[x²]` shifts by at most `(2‖x̂‖₂ + ε₂)·ε₂/n` and `E[x]²` by at most
 /// `(2|m̂| + ε_m)·ε_m`, where `ε₂` bounds `‖x̂ − x‖₂` and `ε_m` the mean
@@ -205,16 +260,35 @@ impl Store {
     /// rule out are decoded. The result is bit-identical to
     /// [`Store::query_full_scan`].
     pub fn query(&self, q: &Query) -> Result<QueryResult, StoreError> {
-        self.execute(q, true)
+        Ok(self.execute(q, true, false)?.0)
     }
 
     /// Runs `q` decoding every chunk in the label range (the reference
     /// scan the pruned path must reproduce bit-for-bit).
     pub fn query_full_scan(&self, q: &Query) -> Result<QueryResult, StoreError> {
-        self.execute(q, false)
+        Ok(self.execute(q, false, false)?.0)
     }
 
-    fn execute(&self, q: &Query, prune: bool) -> Result<QueryResult, StoreError> {
+    /// Runs `q` tolerating damaged chunks: a chunk that fails to read,
+    /// checksum-verify, or decode is **quarantined** — counted in the
+    /// [`DegradationReport`] and excluded from the aggregate — instead of
+    /// failing the query. The result over the surviving chunks is
+    /// bit-identical to [`Store::query`] on a store holding only those
+    /// chunks, at any thread count. Caller errors (a bad label range)
+    /// still fail: degradation covers data damage, not misuse.
+    pub fn query_degraded(
+        &self,
+        q: &Query,
+    ) -> Result<(QueryResult, DegradationReport), StoreError> {
+        self.execute(q, true, true)
+    }
+
+    fn execute(
+        &self,
+        q: &Query,
+        prune: bool,
+        tolerate: bool,
+    ) -> Result<(QueryResult, DegradationReport), StoreError> {
         let _span = tel::span!("store.query");
         let allocs_before = if tel::counters_enabled() {
             tel::alloc_probe()
@@ -244,11 +318,11 @@ impl Store {
 
         // Stage 3: decode + exact predicate + partials, in parallel; each
         // element is independent, and the fold below runs in chunk order.
-        let scanned: Vec<Result<ChunkScan, StoreError>> = survivors
+        let scanned: Vec<Result<Scanned, StoreError>> = survivors
             .par_iter()
             .map(|&i| {
                 let entry = &self.entries()[i];
-                SCAN_SCRATCH.with(|cell| {
+                let outcome = SCAN_SCRATCH.with(|cell| {
                     let slot = &mut *cell.borrow_mut();
                     self.chunk_into(i, slot)?;
                     let c = slot.as_ref().expect("chunk_into fills the slot");
@@ -257,7 +331,7 @@ impl Store {
                         None => true,
                     };
                     if !matched {
-                        return Ok(None);
+                        return Ok(Scanned::NoMatch);
                     }
                     // Recompute (not copy) the partials from the payload:
                     // the determinism contract makes them equal the stored
@@ -268,19 +342,49 @@ impl Store {
                     // order) and allocation-free — the chunks themselves
                     // already fan out across threads here.
                     let stats = c.stats_partial_seq()?;
-                    Ok(Some((entry.label, stats, c.error_bounds())))
-                })
+                    Ok(Scanned::Match(entry.label, stats, c.error_bounds()))
+                });
+                match outcome {
+                    // A damaged chunk in degraded mode is quarantined, not
+                    // fatal. `InvalidArgument` stays fatal: it signals a
+                    // caller bug, not data damage.
+                    Err(e) if tolerate && !matches!(e, StoreError::InvalidArgument(_)) => {
+                        Ok(Scanned::Skipped {
+                            label: entry.label,
+                            rows: entry.zone.stats.count,
+                            reason: e.to_string(),
+                        })
+                    }
+                    other => other,
+                }
             })
             .collect();
 
+        let rows_in_range: u64 = self
+            .select(q.from_label, q.to_label)
+            .map(|i| self.entries()[i].zone.stats.count)
+            .sum();
         let mut stats = ChunkStats::empty();
         let mut bounds = ErrorBounds::exact();
         let mut matched_labels = Vec::with_capacity(scanned.len());
+        let mut skipped = Vec::new();
         for r in scanned {
-            if let Some((label, s, b)) = r? {
-                matched_labels.push(label);
-                stats.merge(&s);
-                bounds.merge(&b);
+            match r? {
+                Scanned::Match(label, s, b) => {
+                    matched_labels.push(label);
+                    stats.merge(&s);
+                    bounds.merge(&b);
+                }
+                Scanned::NoMatch => {}
+                Scanned::Skipped {
+                    label,
+                    rows,
+                    reason,
+                } => skipped.push(SkippedChunk {
+                    label,
+                    rows,
+                    reason,
+                }),
             }
         }
 
@@ -296,6 +400,7 @@ impl Store {
             tel::counter!("store.chunks_pruned").add(chunks_pruned as u64);
             tel::counter!("store.chunks_scanned").add(survivors.len() as u64);
             tel::counter!("store.chunks_matched").add(matched_labels.len() as u64);
+            tel::counter!("store.chunks_quarantined").add(skipped.len() as u64);
             tel::counter!("store.query.payload_bytes").add(payload_bytes_read);
             // Allocation audit: with a probe registered (the bench's
             // counting allocator), record how many allocations this query
@@ -304,7 +409,13 @@ impl Store {
                 tel::record!("store.query.allocs", after.saturating_sub(before));
             }
         }
-        Ok(QueryResult {
+        let report = DegradationReport {
+            rows_unavailable: skipped.iter().map(|s| s.rows).sum(),
+            rows_in_range,
+            bounds_partial: !skipped.is_empty(),
+            skipped,
+        };
+        let result = QueryResult {
             value,
             error_bound,
             stats,
@@ -314,6 +425,7 @@ impl Store {
             chunks_pruned,
             chunks_scanned: survivors.len(),
             payload_bytes_read,
-        })
+        };
+        Ok((result, report))
     }
 }

@@ -25,8 +25,8 @@
 
 use crate::error::{io_err, StoreError};
 use crate::format::{
-    decode_footer, fnv1a64, FormatVersion, IndexEntry, HEADER_MAGIC, MIN_FILE_LEN, TRAILER_LEN,
-    TRAILER_MAGIC,
+    decode_footer, fnv1a64, scan_salvage, FormatVersion, IndexEntry, HEADER_MAGIC, HEADER_MAGIC_V1,
+    HEADER_MAGIC_V2, MIN_FILE_LEN, TRAILER_LEN, TRAILER_MAGIC,
 };
 use crate::writer::StoreWriter;
 use crate::zonemap::ZoneMap;
@@ -37,12 +37,14 @@ use blazr::{BinIndex, Coder, CompressedArray, IndexType, ScalarType};
 use blazr_precision::StorableReal;
 use blazr_telemetry as tel;
 use blazr_util::mmap::Mmap;
+use blazr_util::vfs::{OsVfs, Vfs, VfsFile};
 use rayon::prelude::*;
 use std::cell::Cell;
+use std::io;
 use std::ops::Range;
-use std::os::unix::fs::FileExt;
 use std::path::Path;
 use std::sync::OnceLock;
+use std::time::Duration;
 
 std::thread_local! {
     /// Reusable read buffer for the positional-read backing, so repeated
@@ -66,8 +68,61 @@ enum Backing {
     Map(Mmap),
     /// Positional-read fallback ([`Store::open_unmapped`], or platforms
     /// without the mmap shim). Reads share no cursor, so parallel chunk
-    /// scans are race-free.
-    File(std::fs::File, u64),
+    /// scans are race-free. The handle is whatever [`Vfs`] opened the
+    /// store, so fault injection reaches every read on this path.
+    File(Box<dyn VfsFile>, u64),
+}
+
+/// Bounded retry with exponential backoff for transient read faults
+/// (EINTR-style: `Interrupted`, `WouldBlock`, `TimedOut`). Reads on the
+/// positional backing retry up to `attempts` times total, sleeping
+/// `base_backoff`, `2×base_backoff`, … between tries; non-transient
+/// errors and exhausted budgets propagate. Telemetry counts each retry
+/// (`store.io.retries`) and each exhausted budget (`store.io.giveups`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total read attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            base_backoff: Duration::from_micros(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn is_transient(kind: io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+
+    /// `read_exact_at` with this policy's retry budget.
+    fn read_exact_at(&self, file: &dyn VfsFile, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        let mut attempt: u32 = 0;
+        loop {
+            match file.read_exact_at(buf, offset) {
+                Ok(()) => return Ok(()),
+                Err(e) if Self::is_transient(e.kind()) => {
+                    attempt += 1;
+                    if attempt >= self.attempts.max(1) {
+                        tel::count!("store.io.giveups", 1);
+                        return Err(e);
+                    }
+                    tel::count!("store.io.retries", 1);
+                    std::thread::sleep(self.base_backoff * (1 << (attempt - 1).min(16)));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 /// Checked sub-slice of `bytes`: `offset as usize + len` can wrap on a
@@ -108,7 +163,7 @@ impl Backing {
 
     /// Reads exactly `len` bytes at `offset` into a fresh buffer — used
     /// for the O(index) open-time reads, where allocation is fine.
-    fn read_at(&self, offset: u64, len: usize) -> Result<Vec<u8>, StoreError> {
+    fn read_at(&self, offset: u64, len: usize, retry: &RetryPolicy) -> Result<Vec<u8>, StoreError> {
         match self {
             Backing::Mem(_) | Backing::Map(_) => {
                 let all = self.as_slice().expect("Mem/Map backings are addressable");
@@ -116,9 +171,11 @@ impl Backing {
             }
             Backing::File(f, _) => {
                 let mut buf = vec![0u8; len];
-                f.read_exact_at(&mut buf, offset).map_err(|e| {
-                    StoreError::Io(format!("cannot read [{offset}, {offset}+{len}): {e}"))
-                })?;
+                retry
+                    .read_exact_at(f.as_ref(), &mut buf, offset)
+                    .map_err(|e| {
+                        StoreError::Io(format!("cannot read [{offset}, {offset}+{len}): {e}"))
+                    })?;
                 Ok(buf)
             }
         }
@@ -139,6 +196,27 @@ pub struct Store {
     /// A failed verdict is permanent — every later access keeps erroring.
     checks: Vec<OnceLock<bool>>,
     version: FormatVersion,
+    retry: RetryPolicy,
+    /// True when [`Store::open`] asked for a memory map and the platform
+    /// refused with an error (not merely "unsupported") — the store then
+    /// runs on positional reads. Surfaced by `store stat`.
+    mmap_fell_back: bool,
+}
+
+/// What [`Store::open_salvage`] managed to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// True when the footer and trailer validated and no scan was needed
+    /// (the salvage open degenerated to a normal open).
+    pub footer_intact: bool,
+    /// Chunks recovered into the rebuilt index.
+    pub recovered: usize,
+    /// Damaged candidates: aligned chunk preambles that failed
+    /// validation (bad length, checksum mismatch, out-of-order label),
+    /// plus salvage hits whose payloads would not decode.
+    pub damaged: u64,
+    /// Bytes the salvage scan walked (0 when the footer was intact).
+    pub scanned_bytes: u64,
 }
 
 impl Store {
@@ -149,14 +227,25 @@ impl Store {
     /// the mapping) the store falls back to positional reads, exactly as
     /// [`Store::open_unmapped`].
     pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_with(&OsVfs, path)
+    }
+
+    /// [`Store::open`] through an explicit [`Vfs`] (fault injection,
+    /// alternative backends). When the map attempt *errors* — as opposed
+    /// to the platform not supporting maps — the open falls back to
+    /// positional reads instead of failing, counts
+    /// `store.open.mmap_fallback`, and flags the handle
+    /// ([`Store::mmap_fell_back`]).
+    pub fn open_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let _span = tel::span!("store.open");
         let path = path.as_ref();
-        let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
-        match Mmap::map(&file) {
-            Ok(Some(map)) => Self::load(Backing::Map(map)),
-            Ok(None) | Err(_) => {
-                let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
-                Self::load(Backing::File(file, len))
+        let file = vfs.open(path).map_err(|e| io_err("open", path, e))?;
+        match file.mmap() {
+            Ok(Some(map)) => Self::load(Backing::Map(map), false),
+            Ok(None) => Self::positional(file, path, false),
+            Err(_) => {
+                tel::count!("store.open.mmap_fallback", 1);
+                Self::positional(file, path, true)
             }
         }
     }
@@ -166,21 +255,40 @@ impl Store {
     /// This is [`Store::open`]'s fallback path, exposed for callers that
     /// must not map the file (and for testing both paths).
     pub fn open_unmapped(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        Self::open_unmapped_with(&OsVfs, path)
+    }
+
+    /// [`Store::open_unmapped`] through an explicit [`Vfs`].
+    pub fn open_unmapped_with(vfs: &dyn Vfs, path: impl AsRef<Path>) -> Result<Self, StoreError> {
         let _span = tel::span!("store.open");
         let path = path.as_ref();
-        let file = std::fs::File::open(path).map_err(|e| io_err("open", path, e))?;
-        let len = file.metadata().map_err(|e| io_err("stat", path, e))?.len();
-        Self::load(Backing::File(file, len))
+        let file = vfs.open(path).map_err(|e| io_err("open", path, e))?;
+        Self::positional(file, path, false)
+    }
+
+    fn positional(
+        file: Box<dyn VfsFile>,
+        path: &Path,
+        fell_back: bool,
+    ) -> Result<Self, StoreError> {
+        let len = file.len().map_err(|e| io_err("stat", path, e))?;
+        Self::load(Backing::File(file, len), fell_back)
     }
 
     /// Opens a store from its raw bytes (validates header, trailer,
     /// checksum, and index geometry — never panics on corrupt input).
     pub fn from_bytes(data: Vec<u8>) -> Result<Self, StoreError> {
         let _span = tel::span!("store.open");
-        Self::load(Backing::Mem(data))
+        Self::load(Backing::Mem(data), false)
     }
 
-    fn load(backing: Backing) -> Result<Self, StoreError> {
+    /// Reads and validates header magic, trailer, and footer — the
+    /// normal open path, borrowed out of `load` so the salvage path can
+    /// try it first and keep the backing when it fails.
+    fn read_index(
+        backing: &Backing,
+        retry: &RetryPolicy,
+    ) -> Result<(FormatVersion, Vec<IndexEntry>), StoreError> {
         let corrupt = |msg: String| StoreError::Corrupt(msg);
         let file_len = backing.len();
         if file_len < MIN_FILE_LEN as u64 {
@@ -188,11 +296,11 @@ impl Store {
                 "file holds {file_len} bytes; a store needs at least {MIN_FILE_LEN}"
             )));
         }
-        let magic = backing.read_at(0, HEADER_MAGIC.len())?;
+        let magic = backing.read_at(0, HEADER_MAGIC.len(), retry)?;
         let Some(version) = FormatVersion::from_magic(&magic) else {
             return Err(corrupt("missing BLZSTOR header magic".into()));
         };
-        let trailer = backing.read_at(file_len - TRAILER_LEN as u64, TRAILER_LEN)?;
+        let trailer = backing.read_at(file_len - TRAILER_LEN as u64, TRAILER_LEN, retry)?;
         if &trailer[16..] != TRAILER_MAGIC {
             return Err(corrupt(
                 "missing BLZSIDX1 trailer magic (truncated or unfinished store?)".into(),
@@ -209,7 +317,7 @@ impl Store {
                 "footer length {footer_len} does not fit in a {file_len}-byte file"
             )));
         };
-        let footer = backing.read_at(footer_start, footer_len as usize)?;
+        let footer = backing.read_at(footer_start, footer_len as usize, retry)?;
         let actual_sum = fnv1a64(&footer);
         if actual_sum != stored_sum {
             return Err(corrupt(format!(
@@ -217,6 +325,12 @@ impl Store {
             )));
         }
         let entries = decode_footer(&footer, footer_start, version)?;
+        Ok((version, entries))
+    }
+
+    fn load(backing: Backing, mmap_fell_back: bool) -> Result<Self, StoreError> {
+        let retry = RetryPolicy::default();
+        let (version, entries) = Self::read_index(&backing, &retry)?;
         let checks = entries.iter().map(|_| OnceLock::new()).collect();
         if tel::counters_enabled() {
             match &backing {
@@ -230,13 +344,180 @@ impl Store {
             entries,
             checks,
             version,
+            retry,
+            mmap_fell_back,
         })
     }
 
     /// The on-disk format version this store was written with. New files
-    /// are always v2; v1 files stay readable.
+    /// are always v3; v1 and v2 files stay readable.
     pub fn format_version(&self) -> FormatVersion {
         self.version
+    }
+
+    /// True when [`Store::open`]'s memory-map attempt failed with an
+    /// error and the store quietly fell back to positional reads.
+    pub fn mmap_fell_back(&self) -> bool {
+        self.mmap_fell_back
+    }
+
+    /// Replaces the transient-read retry policy (defaults to 3 attempts
+    /// with 100 µs base backoff).
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Opens a store, rebuilding the index from chunk preambles when the
+    /// footer or trailer is damaged. An intact file opens exactly as
+    /// [`Store::open`] (with `footer_intact` set in the report); a
+    /// damaged v3 file is scanned for aligned, checksum-valid,
+    /// self-describing chunk preambles (see the salvage invariants in
+    /// [`crate::format`]) and every verified chunk is recovered, in label
+    /// order, with its zone map recomputed from the payload. Only
+    /// [`StoreError::Corrupt`] triggers the scan — I/O errors propagate —
+    /// and a file that yields no salvageable chunk (including any v1/v2
+    /// file, which has no preambles) stays `Corrupt`.
+    pub fn open_salvage(path: impl AsRef<Path>) -> Result<(Self, SalvageReport), StoreError> {
+        Self::open_salvage_with(&OsVfs, path)
+    }
+
+    /// [`Store::open_salvage`] through an explicit [`Vfs`].
+    pub fn open_salvage_with(
+        vfs: &dyn Vfs,
+        path: impl AsRef<Path>,
+    ) -> Result<(Self, SalvageReport), StoreError> {
+        let _span = tel::span!("store.salvage");
+        let path = path.as_ref();
+        let file = vfs.open(path).map_err(|e| io_err("open", path, e))?;
+        let (backing, fell_back) = match file.mmap() {
+            Ok(Some(map)) => (Backing::Map(map), false),
+            Ok(None) | Err(_) => {
+                let len = file.len().map_err(|e| io_err("stat", path, e))?;
+                (Backing::File(file, len), false)
+            }
+        };
+        Self::salvage(backing, fell_back)
+    }
+
+    /// [`Store::open_salvage`] over raw bytes.
+    pub fn salvage_from_bytes(data: Vec<u8>) -> Result<(Self, SalvageReport), StoreError> {
+        let _span = tel::span!("store.salvage");
+        Self::salvage(Backing::Mem(data), false)
+    }
+
+    fn salvage(
+        backing: Backing,
+        mmap_fell_back: bool,
+    ) -> Result<(Self, SalvageReport), StoreError> {
+        let retry = RetryPolicy::default();
+        match Self::read_index(&backing, &retry) {
+            Ok(_) => {
+                let store = Self::load(backing, mmap_fell_back)?;
+                let report = SalvageReport {
+                    footer_intact: true,
+                    recovered: store.len(),
+                    damaged: 0,
+                    scanned_bytes: 0,
+                };
+                return Ok((store, report));
+            }
+            // Corruption is what salvage exists for; anything else (I/O
+            // failure, bad argument) is not evidence of damage.
+            Err(StoreError::Corrupt(_)) => {}
+            Err(e) => return Err(e),
+        }
+        // A v1/v2 file has a valid magic but no preambles: scanning it
+        // can only find garbage, so say what is actually wrong.
+        let file_len = backing.len();
+        if let Ok(magic) = backing.read_at(0, HEADER_MAGIC.len(), &retry) {
+            if magic == HEADER_MAGIC_V1 || magic == HEADER_MAGIC_V2 {
+                return Err(StoreError::Corrupt(
+                    "damaged pre-v3 store: no chunk preambles to salvage from".into(),
+                ));
+            }
+        }
+        // Scan the whole file. The addressable backings scan in place;
+        // the positional backing reads the file once, with retries.
+        let len = usize::try_from(file_len).map_err(|_| {
+            StoreError::Corrupt(format!("file length {file_len} exceeds the address space"))
+        })?;
+        let owned;
+        let bytes: &[u8] = match backing.as_slice() {
+            Some(all) => all,
+            None => {
+                owned = backing.read_at(0, len, &retry)?;
+                &owned
+            }
+        };
+        let (hits, mut damaged) = scan_salvage(bytes);
+        let mut entries = Vec::with_capacity(hits.len());
+        let mut slot = None;
+        for hit in &hits {
+            let len = usize::try_from(hit.len).map_err(|_| {
+                StoreError::Corrupt(format!(
+                    "salvaged chunk length {} exceeds the address space",
+                    hit.len
+                ))
+            })?;
+            let payload = slice_range(bytes, hit.offset, len)?;
+            // The checksum already passed; decoding validates the stream
+            // itself and recomputes the zone map the footer would have
+            // held (bit-identical by the determinism contract).
+            let entry = from_bytes_dyn_into(payload, &mut slot)
+                .map_err(StoreError::from)
+                .and_then(|()| {
+                    let c = slot.as_ref().expect("decode fills the slot");
+                    let zone = ZoneMap::of_dyn(c)?;
+                    let coder = blazr::serialize::peek_coder(payload).ok_or_else(|| {
+                        StoreError::Corrupt("salvaged chunk has no readable coder tag".into())
+                    })?;
+                    Ok(IndexEntry {
+                        label: hit.label,
+                        offset: hit.offset,
+                        len: hit.len,
+                        payload_sum: hit.payload_sum,
+                        coder,
+                        zone,
+                    })
+                });
+            match entry {
+                Ok(e) => entries.push(e),
+                // Checksum-valid but undecodable: quarantine, keep going.
+                Err(_) => damaged += 1,
+            }
+        }
+        if entries.is_empty() {
+            return Err(StoreError::Corrupt(format!(
+                "no salvageable chunks in {file_len} bytes ({damaged} damaged candidates)"
+            )));
+        }
+        tel::count!("store.salvage.recovered", entries.len() as u64);
+        tel::count!("store.salvage.damaged", damaged);
+        let report = SalvageReport {
+            footer_intact: false,
+            recovered: entries.len(),
+            damaged,
+            scanned_bytes: file_len,
+        };
+        // Every salvaged payload was just hashed against its preamble:
+        // pre-latch the per-chunk checksum verdicts.
+        let checks: Vec<OnceLock<bool>> = entries
+            .iter()
+            .map(|_| {
+                let lock = OnceLock::new();
+                lock.set(true).expect("freshly created latch");
+                lock
+            })
+            .collect();
+        let store = Self {
+            backing,
+            entries,
+            checks,
+            version: FormatVersion::V3,
+            retry,
+            mmap_fell_back,
+        };
+        Ok((store, report))
     }
 
     /// How this store's bytes are accessed: `"mmap"` (zero-copy mapped
@@ -254,7 +535,7 @@ impl Store {
     fn stream_version(&self) -> StreamVersion {
         match self.version {
             FormatVersion::V1 => StreamVersion::V1,
-            FormatVersion::V2 => StreamVersion::V2,
+            FormatVersion::V2 | FormatVersion::V3 => StreamVersion::V2,
         }
     }
 
@@ -388,12 +669,15 @@ impl Store {
         let mut buf = READ_SCRATCH.take();
         buf.clear();
         buf.resize(len, 0);
-        let read = file.read_exact_at(&mut buf, e.offset).map_err(|err| {
-            StoreError::Io(format!(
-                "cannot read [{}, {}+{len}): {err}",
-                e.offset, e.offset
-            ))
-        });
+        let read = self
+            .retry
+            .read_exact_at(file.as_ref(), &mut buf, e.offset)
+            .map_err(|err| {
+                StoreError::Io(format!(
+                    "cannot read [{}, {}+{len}): {err}",
+                    e.offset, e.offset
+                ))
+            });
         let out = read
             .and_then(|()| self.verify_payload(i, &buf))
             .map(|()| f(&buf));
@@ -418,7 +702,7 @@ impl Store {
         let version = self.version;
         self.with_chunk_bytes(i, |bytes| match version {
             FormatVersion::V1 => from_bytes_dyn_v1_into(bytes, slot),
-            FormatVersion::V2 => from_bytes_dyn_into(bytes, slot),
+            FormatVersion::V2 | FormatVersion::V3 => from_bytes_dyn_into(bytes, slot),
         })??;
         Ok(())
     }
@@ -439,7 +723,7 @@ impl Store {
         let version = self.version;
         let parsed = self.with_chunk_bytes(i, |bytes| match version {
             FormatVersion::V1 => CompressedArray::<P, I>::from_bytes_v1(bytes),
-            FormatVersion::V2 => CompressedArray::<P, I>::from_bytes(bytes),
+            FormatVersion::V2 | FormatVersion::V3 => CompressedArray::<P, I>::from_bytes(bytes),
         })?;
         Ok(parsed?)
     }
@@ -468,7 +752,7 @@ impl Store {
     /// read).
     pub fn chunk_types(&self) -> Option<(ScalarType, IndexType)> {
         let first = self.entries.first()?;
-        let tag = self.backing.read_at(first.offset, 1).ok()?;
+        let tag = self.backing.read_at(first.offset, 1, &self.retry).ok()?;
         blazr::serialize::peek_types(&tag)
     }
 

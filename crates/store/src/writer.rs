@@ -2,17 +2,18 @@
 
 use crate::error::{io_err, StoreError};
 use crate::format::{
-    encode_footer, encode_trailer, fnv1a64, IndexEntry, CHUNK_ALIGN, HEADER_MAGIC,
+    encode_footer, encode_preamble, encode_trailer, fnv1a64, IndexEntry, CHUNK_ALIGN, HEADER_MAGIC,
+    PREAMBLE_LEN,
 };
 use crate::zonemap::ZoneMap;
 use blazr::dynamic::{compress_dyn, DynCompressed};
 use blazr::{BinIndex, CompressedArray, IndexType, ScalarType, Settings};
 use blazr_precision::StorableReal;
 use blazr_tensor::NdArray;
-use std::fs::File;
-use std::io::{BufWriter, Write};
+use blazr_util::vfs::{OsVfs, Vfs, VfsFile};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Per-process counter making concurrent writers' temp names unique.
 static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
@@ -29,8 +30,17 @@ static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
 /// untouched, so re-ingesting over a good store can never destroy it,
 /// and concurrent ingests to the same destination cannot interleave
 /// (last `finish()` wins whole).
+///
+/// All I/O goes through a [`Vfs`] ([`StoreWriter::create_with`]), and
+/// each logical unit — header, padding, chunk preamble, chunk payload,
+/// footer, trailer — is one `append_all` call. That makes every write a
+/// crash boundary the fault-injection suite can kill at, and it is why
+/// the writer is deliberately unbuffered: a userspace buffer would
+/// coalesce boundaries and hide torn-write states the format must
+/// survive.
 pub struct StoreWriter {
-    file: BufWriter<File>,
+    vfs: Arc<dyn Vfs>,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     tmp_path: PathBuf,
     offset: u64,
@@ -53,6 +63,18 @@ impl StoreWriter {
         float_type: ScalarType,
         index_type: IndexType,
     ) -> Result<Self, StoreError> {
+        Self::create_with(Arc::new(OsVfs), path, settings, float_type, index_type)
+    }
+
+    /// [`StoreWriter::create`] through an explicit [`Vfs`] (fault
+    /// injection, alternative backends).
+    pub fn create_with(
+        vfs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        settings: Settings,
+        float_type: ScalarType,
+        index_type: IndexType,
+    ) -> Result<Self, StoreError> {
         if !settings.dc_available() {
             return Err(StoreError::InvalidArgument(
                 "store settings must keep the DC coefficient (zone maps need block means)".into(),
@@ -66,11 +88,18 @@ impl StoreWriter {
             TMP_NONCE.fetch_add(1, Ordering::Relaxed)
         ));
         let tmp_path = PathBuf::from(tmp_os);
-        let file = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, e))?;
-        let mut file = BufWriter::new(file);
-        file.write_all(HEADER_MAGIC)
-            .map_err(|e| io_err("write", &tmp_path, e))?;
+        let mut file = vfs
+            .create(&tmp_path)
+            .map_err(|e| io_err("create", &tmp_path, e))?;
+        if let Err(e) = file.append_all(HEADER_MAGIC) {
+            // The temp file exists but no Self owns it yet, so Drop
+            // cannot clean it up — do it here.
+            drop(file);
+            let _ = vfs.remove_file(&tmp_path);
+            return Err(io_err("write", &tmp_path, e));
+        }
         Ok(Self {
+            vfs,
             file,
             path,
             tmp_path,
@@ -130,36 +159,43 @@ impl StoreWriter {
         Ok(())
     }
 
+    fn write_all(&mut self, bytes: &[u8]) -> Result<(), StoreError> {
+        self.file
+            .append_all(bytes)
+            .map_err(|e| io_err("write", &self.tmp_path, e))?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
     fn write_chunk(&mut self, label: u64, bytes: &[u8], zone: ZoneMap) -> Result<(), StoreError> {
         // Echo the stream's own coder tag into the footer so diagnostics
         // can count coders without reading payloads.
         let coder = blazr::serialize::peek_coder(bytes).ok_or_else(|| {
             StoreError::Corrupt("serialized chunk has no readable coder tag".into())
         })?;
-        // v2 files 8-byte-align every payload so a mapped store hands out
-        // aligned slices. The zero pad bytes live in the gap *before* the
-        // payload: the footer's offset/len never cover them, and the
-        // footer decoder tolerates forward gaps (offsets may never run
-        // backwards). See `format::CHUNK_ALIGN`.
+        // v3 files 8-byte-align every chunk so a mapped store hands out
+        // aligned payload slices and the salvage scan only has to probe
+        // aligned offsets. The zero pad bytes and the 32-byte preamble
+        // live in the gap *before* the payload: the footer's offset/len
+        // never cover them, and the footer decoder tolerates forward
+        // gaps (offsets may never run backwards). See
+        // `format::CHUNK_ALIGN` and the salvage invariants in `format`.
         let pad = self.offset.next_multiple_of(CHUNK_ALIGN) - self.offset;
         if pad != 0 {
-            self.file
-                .write_all(&[0u8; CHUNK_ALIGN as usize][..pad as usize])
-                .map_err(|e| io_err("write", &self.tmp_path, e))?;
-            self.offset += pad;
+            self.write_all(&[0u8; CHUNK_ALIGN as usize][..pad as usize])?;
         }
-        self.file
-            .write_all(bytes)
-            .map_err(|e| io_err("write", &self.tmp_path, e))?;
+        self.write_all(&encode_preamble(label, bytes))?;
+        debug_assert_eq!(PREAMBLE_LEN as u64 % CHUNK_ALIGN, 0);
+        let offset = self.offset;
+        self.write_all(bytes)?;
         self.entries.push(IndexEntry {
             label,
-            offset: self.offset,
+            offset,
             len: bytes.len() as u64,
             payload_sum: fnv1a64(bytes),
             coder,
             zone,
         });
-        self.offset += bytes.len() as u64;
         Ok(())
     }
 
@@ -203,27 +239,26 @@ impl StoreWriter {
     pub fn finish(mut self) -> Result<(), StoreError> {
         let footer = encode_footer(&self.entries);
         let trailer = encode_trailer(&footer);
+        self.write_all(&footer)?;
+        self.write_all(&trailer)?;
         self.file
-            .write_all(&footer)
-            .and_then(|()| self.file.write_all(&trailer))
-            .and_then(|()| self.file.flush())
-            .map_err(|e| io_err("write", &self.tmp_path, e))?;
-        self.file
-            .get_ref()
             .sync_all()
             .map_err(|e| io_err("sync", &self.tmp_path, e))?;
-        std::fs::rename(&self.tmp_path, &self.path)
+        self.vfs
+            .rename(&self.tmp_path, &self.path)
             .map_err(|e| io_err("rename into place", &self.path, e))?;
+        // The temp file no longer exists under its old name; nothing to
+        // clean up from here on, even if the directory sync fails.
+        self.finished = true;
         // Make the rename itself durable: sync the directory entry, or a
         // power cut after this return could roll the path back.
         let parent = match self.path.parent() {
-            Some(p) if !p.as_os_str().is_empty() => p,
-            _ => Path::new("."),
+            Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+            _ => PathBuf::from("."),
         };
-        File::open(parent)
-            .and_then(|d| d.sync_all())
-            .map_err(|e| io_err("sync directory", parent, e))?;
-        self.finished = true;
+        self.vfs
+            .sync_dir(&parent)
+            .map_err(|e| io_err("sync directory", &parent, e))?;
         Ok(())
     }
 }
@@ -233,7 +268,7 @@ impl Drop for StoreWriter {
         if !self.finished {
             // Best-effort cleanup: an abandoned ingest leaves no debris
             // (and never touched the destination path).
-            let _ = std::fs::remove_file(&self.tmp_path);
+            let _ = self.vfs.remove_file(&self.tmp_path);
         }
     }
 }

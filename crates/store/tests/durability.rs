@@ -379,13 +379,13 @@ fn v1_files_stay_readable() {
 }
 
 #[test]
-fn v2_files_record_per_chunk_coders() {
+fn fresh_files_record_per_chunk_coders() {
     use blazr_store::FormatVersion;
     let data = frames();
     let p = tmp("coder-tags.blzs");
     write_store(&p, &data);
     let store = Store::open(&p).unwrap();
-    assert_eq!(store.format_version(), FormatVersion::V2);
+    assert_eq!(store.format_version(), FormatVersion::V3);
     for i in 0..store.len() {
         // The footer's coder tag must echo the stream's own prologue.
         let bytes = store.chunk_bytes(i).unwrap();

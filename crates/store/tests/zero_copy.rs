@@ -146,10 +146,12 @@ fn all_backings_agree_bit_identically_across_threads_and_versions() {
     }
 }
 
-/// v2 writers align every chunk payload to an 8-byte boundary; the
-/// padding is invisible to the index and to readers.
+/// v3 writers align every chunk to an 8-byte boundary; the gap before a
+/// payload holds zero padding plus the 32-byte chunk preamble, both
+/// invisible to the index and to readers.
 #[test]
-fn v2_payloads_are_aligned_and_padding_is_transparent() {
+fn payloads_are_aligned_and_the_preamble_gap_is_transparent() {
+    use blazr_store::format::{decode_preamble, fnv1a64, PREAMBLE_LEN};
     let data = frames(6);
     let p = tmp("aligned.blzs");
     write_store(&p, &data);
@@ -167,11 +169,20 @@ fn v2_payloads_are_aligned_and_padding_is_transparent() {
         padding += e.offset - watermark;
         watermark = e.offset + e.len;
     }
-    // The pad bytes in the gaps are zero (and not counted as payload).
+    // Each gap holds zero padding then the chunk's self-describing
+    // preamble, ending exactly at the payload (none of it counted as
+    // payload by the index).
     let bytes = fs::read(&p).unwrap();
     let mut prev_end = 8usize;
     for e in store.entries() {
-        assert!(bytes[prev_end..e.offset as usize].iter().all(|&b| b == 0));
+        let pre_at = e.offset as usize - PREAMBLE_LEN;
+        assert!(bytes[prev_end..pre_at].iter().all(|&b| b == 0));
+        let (label, len, sum) = decode_preamble(&bytes[pre_at..]).expect("preamble before payload");
+        assert_eq!(label, e.label);
+        assert_eq!(len, e.len);
+        assert_eq!(sum, e.payload_sum);
+        let payload = &bytes[e.offset as usize..(e.offset + e.len) as usize];
+        assert_eq!(fnv1a64(payload), sum);
         prev_end = (e.offset + e.len) as usize;
     }
     assert_eq!(

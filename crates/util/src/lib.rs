@@ -17,6 +17,9 @@
 //! * [`mmap`] — a `libc`-free read-only memory map used by the store's
 //!   zero-copy read path (the crate's one `unsafe` island; everything
 //!   else stays `deny(unsafe_code)`).
+//! * [`vfs`] — the filesystem seam the store's I/O goes through, with a
+//!   deterministic fault-injection wrapper ([`vfs::FaultyVfs`]) for
+//!   torn-write, bit-rot, and transient-error testing.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -27,3 +30,4 @@ pub mod mmap;
 pub mod negabinary;
 pub mod rng;
 pub mod stats;
+pub mod vfs;

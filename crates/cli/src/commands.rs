@@ -29,6 +29,8 @@ USAGE:
   blazr store stat   <store.blzs> [--json]
   blazr store verify <store.blzs> [--json]
   blazr store repair <store.blzs> -o <out.blzs>
+  blazr serve      <store.blzs> [--addr 127.0.0.1:0] [--workers N]
+                   [--queue N] [--deadline-ms D] [--max-requests N]
   blazr telemetry  <store.blzs> [query options as above] [--full-scan]
                    [--mode counters|spans] [--format json|prom]
   blazr help
@@ -49,7 +51,19 @@ report says what was skipped.
 
 Store commands exit 0 when the data is clean, 10 when an answer was
 produced without some chunks (degraded), and 20 when the file is corrupt
-beyond salvage; other errors exit 1.
+beyond salvage; other errors exit 1. `serve` follows the same taxonomy
+when it stops (0 if every answer was complete, 10 if any response was
+degraded) and speaks the same contract over HTTP status codes: 200
+complete, 206 partial (degraded, with the degradation report in the
+body), 429 shed under load (with Retry-After), 503 draining, 504
+deadline exceeded mid-query.
+
+`serve` exposes the store read-only over HTTP/1.1: GET /query (same
+predicates as `store query`, plus mode=strict|degraded and deadline_ms),
+/healthz, /readyz (503 while draining), and /metrics (Prometheus text
+from the telemetry registry). With --max-requests N it drains itself
+after N connections and prints final server stats — handy for smoke
+tests; otherwise it runs until killed.
 
 `telemetry` runs a store query with metric recording forced on and dumps
 the registry snapshot to stdout — JSON by default, Prometheus text with
@@ -83,6 +97,7 @@ pub fn run(argv: &[String]) -> Result<Outcome, String> {
         "diff" => diff_cmd(rest).map(|()| Outcome::Clean),
         "tune" => tune_cmd(rest).map(|()| Outcome::Clean),
         "store" => store_cmd(rest),
+        "serve" => serve_cmd(rest),
         "telemetry" => telemetry_cmd(rest).map(|()| Outcome::Clean),
         "help" | "--help" | "-h" => {
             println!("{HELP}");
@@ -443,15 +458,18 @@ fn store_query_cmd(argv: &[String]) -> Result<Outcome, String> {
     if degraded {
         let (r, report) = store.query_degraded(&q).map_err(|e| e.to_string())?;
         print_query_result(&q, &r);
+        // Always print the degradation summary (even when nothing was
+        // skipped) so the CLI output carries the same report fields the
+        // server puts in every /query response body.
+        println!(
+            "degraded       : {} chunks skipped, {}/{} rows unavailable ({:.1}%)",
+            report.skipped.len(),
+            report.rows_unavailable,
+            report.rows_in_range,
+            report.fraction_unavailable() * 100.0
+        );
         if report.is_degraded() {
             outcome = Outcome::Degraded;
-            println!(
-                "degraded       : {} chunks skipped, {}/{} rows unavailable ({:.1}%)",
-                report.skipped.len(),
-                report.rows_unavailable,
-                report.rows_in_range,
-                report.fraction_unavailable() * 100.0
-            );
             for s in &report.skipped {
                 println!("  chunk {:>5}  {} rows  {}", s.label, s.rows, s.reason);
             }
@@ -477,6 +495,61 @@ fn store_query_cmd(argv: &[String]) -> Result<Outcome, String> {
         }
         Err(e) => Err(e.to_string()),
     }
+}
+
+/// `blazr serve`: expose a store read-only over HTTP/1.1 with bounded
+/// concurrency, per-request deadlines, load shedding, and degraded-mode
+/// answers. A damaged footer is salvaged before serving. Runs until
+/// killed unless `--max-requests` makes it drain itself, in which case
+/// final server stats are printed and the usual clean/degraded exit
+/// taxonomy applies to what was served.
+fn serve_cmd(argv: &[String]) -> Result<Outcome, String> {
+    use blazr_serve::{ServeConfig, Server, TcpTransport};
+    let args = Args::parse(argv, &[])?;
+    let input = args.positionals.first().ok_or("serve needs a store file")?;
+    let mut cfg = ServeConfig::default();
+    if let Some(w) = args.option("workers") {
+        cfg.workers = w.parse().map_err(|e| format!("bad --workers: {e}"))?;
+    }
+    if let Some(q) = args.option("queue") {
+        cfg.queue_capacity = q.parse().map_err(|e| format!("bad --queue: {e}"))?;
+    }
+    if let Some(d) = args.option("deadline-ms") {
+        let ms: u64 = d.parse().map_err(|e| format!("bad --deadline-ms: {e}"))?;
+        cfg.deadline = std::time::Duration::from_millis(ms);
+    }
+    if let Some(n) = args.option("max-requests") {
+        let n: u64 = n.parse().map_err(|e| format!("bad --max-requests: {e}"))?;
+        cfg.max_requests = Some(n);
+    }
+    let Some((store, outcome)) = open_tolerant(input, true)? else {
+        return Ok(Outcome::Corrupt);
+    };
+    // /metrics serves the telemetry registry; without counters it would
+    // always be empty, so default the mode up (BLAZR_TELEMETRY=spans
+    // still wins — counters_enabled is true there too).
+    if !tel::counters_enabled() {
+        tel::set_mode(tel::Mode::Counters);
+    }
+    let addr = args.option("addr").unwrap_or("127.0.0.1:0");
+    let listener = TcpTransport::bind(addr).map_err(|e| format!("bind {addr}: {e}"))?;
+    let server = Server::start(store, Box::new(listener), cfg).map_err(|e| e.to_string())?;
+    println!("serving {} on http://{}", input, server.local_addr());
+    let stats = server.join();
+    println!(
+        "served {} requests: {} shed, {} drain rejects, {} deadline hits, \
+         {} degraded, {} panics",
+        stats.served,
+        stats.shed,
+        stats.drain_rejects,
+        stats.deadline_hits,
+        stats.degraded,
+        stats.panics
+    );
+    if stats.degraded > 0 && outcome == Outcome::Clean {
+        return Ok(Outcome::Degraded);
+    }
+    Ok(outcome)
 }
 
 /// `blazr store verify`: deep-scan every chunk (checksum + full decode)
@@ -1253,5 +1326,79 @@ mod tests {
         let p = tmp("garbage.blz");
         fs::write(&p, [0x55u8; 100]).unwrap();
         assert!(run(&sv(&["info", p.to_str().unwrap()])).is_err());
+    }
+
+    #[test]
+    fn serve_command_roundtrip() {
+        use blazr_serve::{http_get, TcpConn};
+        use std::time::Duration;
+
+        let raw = tmp("serve.f64");
+        let blzs = tmp("serve.blzs");
+        let a = NdArray::from_fn(vec![32, 8], |i| i[0] as f64);
+        write_f64(&raw, &a).unwrap();
+        run(&sv(&[
+            "store",
+            "ingest",
+            raw.to_str().unwrap(),
+            "--shape",
+            "32x8",
+            "--chunk-rows",
+            "8",
+            "--block",
+            "8x8",
+            "-o",
+            blzs.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // Bit-rot one chunk so served query answers are 206/degraded.
+        let off = {
+            let store = blazr_store::Store::open(&blzs).unwrap();
+            store.entries()[1].offset as usize
+        };
+        let mut bytes = fs::read(&blzs).unwrap();
+        bytes[off + 4] ^= 0xFF;
+        fs::write(&blzs, &bytes).unwrap();
+
+        // Pick a free port, then let the command bind it for real.
+        let addr = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().to_string()
+        };
+        let server = std::thread::spawn({
+            let p = blzs.to_str().unwrap().to_string();
+            let addr = addr.clone();
+            move || {
+                run(&sv(&[
+                    "serve",
+                    &p,
+                    "--addr",
+                    &addr,
+                    "--workers",
+                    "2",
+                    "--max-requests",
+                    "2",
+                ]))
+            }
+        });
+        let get = |target: &str| {
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            loop {
+                if let Ok(mut conn) = TcpConn::connect(&addr) {
+                    if let Ok(resp) = http_get(&mut conn, target, Duration::from_secs(5)) {
+                        return resp;
+                    }
+                }
+                assert!(std::time::Instant::now() < deadline, "server never came up");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        };
+        assert_eq!(get("/healthz").status, 200);
+        let resp = get("/query?agg=sum");
+        assert_eq!(resp.status, 206, "bit-rotted store must answer degraded");
+        assert!(resp.body_text().contains("\"degraded\":true"));
+        // After --max-requests the server drains itself and the command
+        // exits with the degraded taxonomy code.
+        assert_eq!(server.join().unwrap().unwrap(), Outcome::Degraded);
     }
 }

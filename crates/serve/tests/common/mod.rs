@@ -1,0 +1,48 @@
+//! Shared fixtures for the serve integration tests: a small store on
+//! disk, an optionally bit-rotted copy, and temp-dir plumbing.
+
+use blazr::{IndexType, ScalarType, Settings};
+use blazr_store::{Store, StoreWriter};
+use blazr_tensor::NdArray;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("blazr-serve-tests").join(name);
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Writes a 6-chunk store (labels 0, 10, …, 50) and returns its path.
+pub fn write_store(dir: &Path) -> PathBuf {
+    let path = dir.join("store.blzs");
+    let mut w = StoreWriter::create(
+        &path,
+        Settings::new(vec![4, 4]).unwrap(),
+        ScalarType::F32,
+        IndexType::I16,
+    )
+    .unwrap();
+    for t in 0..6u64 {
+        let frame = NdArray::from_fn(vec![12, 12], |i| {
+            ((i[0] as f64 + t as f64) / 3.0).sin() + i[1] as f64 * 0.05
+        });
+        w.append(t * 10, &frame).unwrap();
+    }
+    w.finish().unwrap();
+    path
+}
+
+/// Flips one payload byte of chunk `victim` **on disk**, so every
+/// subsequent open sees a store whose strict queries fail their
+/// checksum and whose degraded queries quarantine exactly that chunk.
+pub fn corrupt_chunk(path: &Path, victim: usize) {
+    let offset = {
+        let store = Store::open(path).unwrap();
+        store.entries()[victim].offset + 7
+    };
+    let mut bytes = fs::read(path).unwrap();
+    bytes[usize::try_from(offset).unwrap()] ^= 0x20;
+    fs::write(path, bytes).unwrap();
+}

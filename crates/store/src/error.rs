@@ -13,6 +13,10 @@ pub enum StoreError {
     /// A caller-supplied argument was rejected (out-of-order label,
     /// mismatched settings, empty query range, …).
     InvalidArgument(String),
+    /// The caller's cancellation check fired mid-query (a server
+    /// deadline, typically). Not evidence of data damage: degraded
+    /// queries propagate it instead of quarantining chunks.
+    Cancelled(String),
     /// A codec-level operation on a chunk failed.
     Blaz(BlazError),
 }
@@ -23,6 +27,7 @@ impl fmt::Display for StoreError {
             StoreError::Io(msg) => write!(f, "I/O error: {msg}"),
             StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
             StoreError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            StoreError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
             StoreError::Blaz(e) => write!(f, "codec error: {e}"),
         }
     }

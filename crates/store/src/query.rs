@@ -211,7 +211,7 @@ pub struct SkippedChunk {
 /// How much of the data a degraded query ([`Store::query_degraded`]) had
 /// to do without. An empty report (nothing skipped) means the answer is
 /// identical to a healthy [`Store::query`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DegradationReport {
     /// The quarantined chunks, in chunk order.
     pub skipped: Vec<SkippedChunk>,
@@ -260,13 +260,13 @@ impl Store {
     /// rule out are decoded. The result is bit-identical to
     /// [`Store::query_full_scan`].
     pub fn query(&self, q: &Query) -> Result<QueryResult, StoreError> {
-        Ok(self.execute(q, true, false)?.0)
+        Ok(self.execute(q, true, false, None)?.0)
     }
 
     /// Runs `q` decoding every chunk in the label range (the reference
     /// scan the pruned path must reproduce bit-for-bit).
     pub fn query_full_scan(&self, q: &Query) -> Result<QueryResult, StoreError> {
-        Ok(self.execute(q, false, false)?.0)
+        Ok(self.execute(q, false, false, None)?.0)
     }
 
     /// Runs `q` tolerating damaged chunks: a chunk that fails to read,
@@ -280,7 +280,24 @@ impl Store {
         &self,
         q: &Query,
     ) -> Result<(QueryResult, DegradationReport), StoreError> {
-        self.execute(q, true, true)
+        self.execute(q, true, true, None)
+    }
+
+    /// [`Store::query_degraded`] with a cooperative cancellation check,
+    /// consulted **between chunks** during the scan stage: the moment
+    /// `cancel()` returns true, the query stops decoding further chunks
+    /// and fails with [`StoreError::Cancelled`]. This is the seam a
+    /// server's per-request deadline reaches the scan through — a query
+    /// over many chunks cannot overrun its deadline by more than one
+    /// chunk's decode time. A `cancel` that never fires is bit-identical
+    /// to [`Store::query_degraded`] (same code path, same chunk-order
+    /// fold).
+    pub fn query_degraded_with(
+        &self,
+        q: &Query,
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> Result<(QueryResult, DegradationReport), StoreError> {
+        self.execute(q, true, true, Some(cancel))
     }
 
     fn execute(
@@ -288,6 +305,7 @@ impl Store {
         q: &Query,
         prune: bool,
         tolerate: bool,
+        cancel: Option<&(dyn Fn() -> bool + Sync)>,
     ) -> Result<(QueryResult, DegradationReport), StoreError> {
         let _span = tel::span!("store.query");
         let allocs_before = if tel::counters_enabled() {
@@ -322,6 +340,14 @@ impl Store {
             .par_iter()
             .map(|&i| {
                 let entry = &self.entries()[i];
+                // Cooperative deadline check, between chunks: once the
+                // caller cancels, no further chunk is read or decoded.
+                if cancel.is_some_and(|c| c()) {
+                    return Err(StoreError::Cancelled(format!(
+                        "query cancelled before chunk {} (label {})",
+                        i, entry.label
+                    )));
+                }
                 let outcome = SCAN_SCRATCH.with(|cell| {
                     let slot = &mut *cell.borrow_mut();
                     self.chunk_into(i, slot)?;
@@ -346,9 +372,16 @@ impl Store {
                 });
                 match outcome {
                     // A damaged chunk in degraded mode is quarantined, not
-                    // fatal. `InvalidArgument` stays fatal: it signals a
-                    // caller bug, not data damage.
-                    Err(e) if tolerate && !matches!(e, StoreError::InvalidArgument(_)) => {
+                    // fatal. `InvalidArgument` and `Cancelled` stay fatal:
+                    // they signal a caller bug or a caller deadline, not
+                    // data damage.
+                    Err(e)
+                        if tolerate
+                            && !matches!(
+                                e,
+                                StoreError::InvalidArgument(_) | StoreError::Cancelled(_)
+                            ) =>
+                    {
                         Ok(Scanned::Skipped {
                             label: entry.label,
                             rows: entry.zone.stats.count,

@@ -44,7 +44,6 @@ use std::io;
 use std::ops::Range;
 use std::path::Path;
 use std::sync::OnceLock;
-use std::time::Duration;
 
 std::thread_local! {
     /// Reusable read buffer for the positional-read backing, so repeated
@@ -73,56 +72,30 @@ enum Backing {
     File(Box<dyn VfsFile>, u64),
 }
 
-/// Bounded retry with exponential backoff for transient read faults
-/// (EINTR-style: `Interrupted`, `WouldBlock`, `TimedOut`). Reads on the
-/// positional backing retry up to `attempts` times total, sleeping
-/// `base_backoff`, `2×base_backoff`, … between tries; non-transient
-/// errors and exhausted budgets propagate. Telemetry counts each retry
-/// (`store.io.retries`) and each exhausted budget (`store.io.giveups`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct RetryPolicy {
-    /// Total read attempts, including the first (minimum 1).
-    pub attempts: u32,
-    /// Sleep before the first retry; doubles per subsequent retry.
-    pub base_backoff: Duration,
-}
+/// The transient-read retry policy, shared with the serve crate's
+/// transport path so both sides of the system classify transient vs
+/// permanent I/O errors identically (see [`blazr_util::retry`]). Reads
+/// on the positional backing run under this policy; telemetry counts
+/// the retries (`store.io.retries`) and exhausted budgets
+/// (`store.io.giveups`).
+pub use blazr_util::retry::RetryPolicy;
 
-impl Default for RetryPolicy {
-    fn default() -> Self {
-        Self {
-            attempts: 3,
-            base_backoff: Duration::from_micros(100),
-        }
+/// `read_exact_at` under `retry`'s budget, feeding the retry accounting
+/// into the store's metric namespace.
+fn read_exact_at_retry(
+    retry: &RetryPolicy,
+    file: &dyn VfsFile,
+    buf: &mut [u8],
+    offset: u64,
+) -> io::Result<()> {
+    let out = retry.run(|| file.read_exact_at(buf, offset));
+    if out.retries > 0 {
+        tel::count!("store.io.retries", u64::from(out.retries));
     }
-}
-
-impl RetryPolicy {
-    fn is_transient(kind: io::ErrorKind) -> bool {
-        matches!(
-            kind,
-            io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-        )
+    if out.gave_up {
+        tel::count!("store.io.giveups", 1);
     }
-
-    /// `read_exact_at` with this policy's retry budget.
-    fn read_exact_at(&self, file: &dyn VfsFile, buf: &mut [u8], offset: u64) -> io::Result<()> {
-        let mut attempt: u32 = 0;
-        loop {
-            match file.read_exact_at(buf, offset) {
-                Ok(()) => return Ok(()),
-                Err(e) if Self::is_transient(e.kind()) => {
-                    attempt += 1;
-                    if attempt >= self.attempts.max(1) {
-                        tel::count!("store.io.giveups", 1);
-                        return Err(e);
-                    }
-                    tel::count!("store.io.retries", 1);
-                    std::thread::sleep(self.base_backoff * (1 << (attempt - 1).min(16)));
-                }
-                Err(e) => return Err(e),
-            }
-        }
-    }
+    out.result
 }
 
 /// Checked sub-slice of `bytes`: `offset as usize + len` can wrap on a
@@ -171,11 +144,9 @@ impl Backing {
             }
             Backing::File(f, _) => {
                 let mut buf = vec![0u8; len];
-                retry
-                    .read_exact_at(f.as_ref(), &mut buf, offset)
-                    .map_err(|e| {
-                        StoreError::Io(format!("cannot read [{offset}, {offset}+{len}): {e}"))
-                    })?;
+                read_exact_at_retry(retry, f.as_ref(), &mut buf, offset).map_err(|e| {
+                    StoreError::Io(format!("cannot read [{offset}, {offset}+{len}): {e}"))
+                })?;
                 Ok(buf)
             }
         }
@@ -669,10 +640,8 @@ impl Store {
         let mut buf = READ_SCRATCH.take();
         buf.clear();
         buf.resize(len, 0);
-        let read = self
-            .retry
-            .read_exact_at(file.as_ref(), &mut buf, e.offset)
-            .map_err(|err| {
+        let read =
+            read_exact_at_retry(&self.retry, file.as_ref(), &mut buf, e.offset).map_err(|err| {
                 StoreError::Io(format!(
                     "cannot read [{}, {}+{len}): {err}",
                     e.offset, e.offset

@@ -20,6 +20,9 @@
 //! * [`vfs`] — the filesystem seam the store's I/O goes through, with a
 //!   deterministic fault-injection wrapper ([`vfs::FaultyVfs`]) for
 //!   torn-write, bit-rot, and transient-error testing.
+//! * [`retry`] — the one transient-vs-permanent I/O error classification
+//!   and bounded-backoff [`retry::RetryPolicy`] shared by the store's
+//!   read path and the serve crate's transport path.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
@@ -28,6 +31,7 @@ pub mod csv;
 pub mod huffman;
 pub mod mmap;
 pub mod negabinary;
+pub mod retry;
 pub mod rng;
 pub mod stats;
 pub mod vfs;

@@ -1,0 +1,148 @@
+//! Property coverage for [`blazr_util::retry::RetryPolicy`]: attempts
+//! are bounded by the budget, the backoff schedule is monotone
+//! non-decreasing, and permanent errors (the checksum-failure /
+//! corrupt-footer class) are never retried.
+
+use blazr_util::retry::RetryPolicy;
+use proptest::prelude::*;
+use std::io;
+use std::time::Duration;
+
+const TRANSIENT: [io::ErrorKind; 3] = [
+    io::ErrorKind::Interrupted,
+    io::ErrorKind::WouldBlock,
+    io::ErrorKind::TimedOut,
+];
+
+/// The error kinds real damage surfaces as: a payload checksum mismatch
+/// or corrupt footer is reported as `InvalidData`/`Other`, a truncated
+/// file as `UnexpectedEof`, a missing store as `NotFound`.
+const PERMANENT: [io::ErrorKind; 5] = [
+    io::ErrorKind::InvalidData,
+    io::ErrorKind::UnexpectedEof,
+    io::ErrorKind::NotFound,
+    io::ErrorKind::PermissionDenied,
+    io::ErrorKind::Other,
+];
+
+/// Runs `policy` against a scripted error sequence (`None` = success),
+/// recording every attempt and every backoff sleep.
+fn drive(
+    policy: &RetryPolicy,
+    script: &[Option<io::ErrorKind>],
+) -> (Vec<io::ErrorKind>, Vec<Duration>, bool, u32, bool) {
+    let mut attempts: Vec<io::ErrorKind> = Vec::new();
+    let mut sleeps: Vec<Duration> = Vec::new();
+    let mut i = 0usize;
+    let out = policy.run_with(
+        || {
+            let step = script.get(i).copied().flatten();
+            i += 1;
+            match step {
+                None => Ok(()),
+                Some(kind) => {
+                    attempts.push(kind);
+                    Err(io::Error::new(kind, "scripted"))
+                }
+            }
+        },
+        |d| sleeps.push(d),
+    );
+    (
+        attempts,
+        sleeps,
+        out.result.is_ok(),
+        out.retries,
+        out.gave_up,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// However the transient faults fall, the operation runs at most
+    /// `attempts.max(1)` times and sleeps exactly once per retry.
+    #[test]
+    fn attempts_are_bounded(
+        budget in 0u32..8,
+        fail_count in 0usize..12,
+        kind_ix in 0usize..3,
+    ) {
+        let policy = RetryPolicy { attempts: budget, base_backoff: Duration::from_nanos(7) };
+        let kind = TRANSIENT[kind_ix];
+        let mut script: Vec<Option<io::ErrorKind>> = vec![Some(kind); fail_count];
+        script.push(None); // succeeds if the budget reaches it
+        let (attempts, sleeps, ok, retries, gave_up) = drive(&policy, &script);
+
+        let cap = budget.max(1) as usize;
+        let total_runs = attempts.len() + usize::from(ok);
+        prop_assert!(total_runs <= cap, "ran {total_runs} times, budget {cap}");
+        prop_assert_eq!(sleeps.len() as u32, retries);
+        if fail_count < cap {
+            prop_assert!(ok, "enough budget to reach the scripted success");
+            prop_assert!(!gave_up);
+            prop_assert_eq!(retries as usize, fail_count);
+        } else {
+            prop_assert!(!ok);
+            prop_assert!(gave_up, "exhausting the budget must report a giveup");
+            prop_assert_eq!(retries as usize, cap - 1);
+        }
+    }
+
+    /// The backoff schedule never shrinks between consecutive retries.
+    #[test]
+    fn backoff_is_monotone_non_decreasing(
+        budget in 2u32..9,
+        base_us in 1u64..500,
+    ) {
+        let policy = RetryPolicy {
+            attempts: budget,
+            base_backoff: Duration::from_micros(base_us),
+        };
+        let script = vec![Some(io::ErrorKind::Interrupted); budget as usize + 2];
+        let (_, sleeps, ok, _, gave_up) = drive(&policy, &script);
+        prop_assert!(!ok && gave_up);
+        prop_assert_eq!(sleeps.len() as u32, budget - 1);
+        prop_assert_eq!(sleeps.first().copied(), Some(policy.base_backoff));
+        for w in sleeps.windows(2) {
+            prop_assert!(w[1] >= w[0], "backoff shrank: {:?} -> {:?}", w[0], w[1]);
+        }
+        // And the direct schedule accessor agrees.
+        for r in 0..budget.saturating_sub(1) {
+            prop_assert!(policy.backoff(r + 1) >= policy.backoff(r));
+        }
+    }
+
+    /// A permanent error fails the very first attempt: no retry, no
+    /// sleep, no giveup accounting — even buried after transients.
+    #[test]
+    fn permanent_errors_are_never_retried(
+        budget in 1u32..8,
+        lead_transients in 0usize..3,
+        kind_ix in 0usize..5,
+    ) {
+        let policy = RetryPolicy { attempts: budget, base_backoff: Duration::from_nanos(3) };
+        let kind = PERMANENT[kind_ix];
+        prop_assert!(!RetryPolicy::is_transient(kind));
+        let mut script: Vec<Option<io::ErrorKind>> =
+            vec![Some(io::ErrorKind::WouldBlock); lead_transients];
+        script.push(Some(kind));
+        // Anything after the permanent error must be unreachable.
+        script.push(None);
+        let (attempts, sleeps, ok, retries, gave_up) = drive(&policy, &script);
+        prop_assert!(!ok);
+        if lead_transients < budget.max(1) as usize {
+            // The permanent error was reached: it ended the run at once,
+            // and a permanent failure is not a retry giveup.
+            prop_assert!(!gave_up);
+            prop_assert_eq!(attempts.last().copied(), Some(kind));
+            prop_assert_eq!(retries as usize, lead_transients);
+            prop_assert_eq!(sleeps.len(), lead_transients);
+        } else {
+            // The leading transients exhausted the budget first; the
+            // permanent error was never even attempted.
+            prop_assert!(gave_up);
+            prop_assert!(attempts.iter().all(|&k| RetryPolicy::is_transient(k)));
+        }
+    }
+}
